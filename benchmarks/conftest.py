@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at a reduced
+("smoke") scale by default so the whole suite runs on a laptop in minutes.
+Set ``REPRO_SCALE=quick`` or ``REPRO_SCALE=full`` to run closer to the
+paper's budgets (the figures' qualitative shape is the same; only the
+attainable accuracy improves with budget).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentScale, get_scale
+
+
+def bench_scale() -> ExperimentScale:
+    """The experiment scale selected via the REPRO_SCALE environment variable."""
+    name = os.environ.get("REPRO_SCALE", "smoke")
+    return get_scale(name)
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return bench_scale()
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Print result rows in a compact aligned table under a title banner."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(_fmt(row.get(column))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(_fmt(row.get(column)).ljust(widths[column]) for column in columns))
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)

@@ -1,0 +1,31 @@
+"""Fig. 5 — 2-qubit XX microbenchmark: ideal vs noisy sweeps vs HF vs CAFQA points."""
+
+from conftest import print_table
+
+from repro.experiments.fig05_microbenchmark import run_microbenchmark
+
+
+def test_fig05_xx_microbenchmark(benchmark):
+    result = benchmark.pedantic(lambda: run_microbenchmark(num_points=33), rounds=1, iterations=1)
+
+    rows = [
+        {"series": "ideal machine", "minimum_expectation": result.ideal_minimum},
+        {
+            "series": "noisy (casablanca-like)",
+            "minimum_expectation": result.noisy_minimum("casablanca_like"),
+        },
+        {
+            "series": "noisy (manhattan-like)",
+            "minimum_expectation": result.noisy_minimum("manhattan_like"),
+        },
+        {"series": "Hartree-Fock", "minimum_expectation": result.hartree_fock},
+        {"series": "CAFQA (only-Clifford)", "minimum_expectation": result.cafqa_minimum},
+    ]
+    print_table("Fig. 5: XX Hamiltonian microbenchmark", rows)
+
+    # Paper's qualitative claims: CAFQA reaches the ideal global minimum (-1),
+    # the noisy machines do not, and HF recovers nothing.
+    assert result.cafqa_minimum == result.ideal_minimum == -1.0
+    assert result.noisy_minimum("casablanca_like") > -1.0
+    assert result.noisy_minimum("manhattan_like") > result.noisy_minimum("casablanca_like")
+    assert result.hartree_fock == 0.0

@@ -1,0 +1,36 @@
+"""Fig. 7 — Bayesian-optimization search trace (warm-up + model-guided phases)."""
+
+from conftest import bench_scale, print_table
+
+from repro.experiments.fig07_search_trace import run_search_trace
+
+
+def test_fig07_bo_search_trace(benchmark):
+    scale = bench_scale()
+    # The paper traces an H2O search; the smoke configuration uses the H4 chain
+    # (same code path, minutes instead of tens of minutes).
+    molecule, bond_length = ("H4", 2.4) if scale.name == "smoke" else ("H2O", 4.0)
+    budget = scale.search_evaluations(12)
+
+    result = benchmark.pedantic(
+        lambda: run_search_trace(molecule, bond_length, max_evaluations=budget, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        {"quantity": "warm-up evaluations", "value": result.warmup_evaluations},
+        {"quantity": "best error after warm-up (Ha)", "value": result.best_error_in_warmup},
+        {"quantity": "final best error (Ha)", "value": result.final_error},
+        {"quantity": "HF error (Ha)", "value": result.hf_error},
+        {"quantity": "evals to chemical accuracy", "value": result.reached_chemical_accuracy_at},
+    ]
+    print_table(f"Fig. 7: BO search trace for {molecule} @ {bond_length} A", rows)
+
+    # The trace is monotone and never ends worse than the HF initialization.
+    errors = result.errors
+    assert all(later <= earlier + 1e-12 for earlier, later in zip(errors, errors[1:]))
+    assert result.final_error <= result.hf_error + 1e-12
+    # The model-guided + refinement phase improves on the warm-up's best error
+    # (or the warm-up already found the floor).
+    assert result.final_error <= result.best_error_in_warmup + 1e-12

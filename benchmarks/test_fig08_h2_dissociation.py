@@ -1,0 +1,43 @@
+"""Fig. 8 — H2 dissociation: energy / error / correlation recovered, plus the H2+ cation."""
+
+from conftest import bench_scale, print_table
+
+from repro.experiments.config import spread_bond_lengths
+from repro.experiments.dissociation import run_fig08_h2
+
+
+def test_fig08_h2_dissociation(benchmark):
+    scale = bench_scale()
+    bond_lengths = spread_bond_lengths(0.74, 2.96, max(3, scale.bond_lengths_per_curve))
+
+    result = benchmark.pedantic(
+        lambda: run_fig08_h2(scale=scale, bond_lengths=bond_lengths, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for point in result.points:
+        summary = point.summary
+        rows.append(
+            {
+                "R (A)": point.bond_length,
+                "HF (Ha)": point.hf_energy,
+                "CAFQA (Ha)": point.cafqa_energy,
+                "exact (Ha)": point.exact_energy,
+                "CAFQA H2+ (Ha)": point.extra_series.get("cafqa_cation"),
+                "HF error": summary.hf_error,
+                "CAFQA error": summary.cafqa_error,
+                "corr recovered %": summary.recovered_correlation,
+            }
+        )
+    print_table("Fig. 8: H2 dissociation", rows)
+
+    assert result.cafqa_never_worse_than_hf()
+    # At the largest bond length CAFQA recovers most of the correlation energy
+    # (99.7% in the paper) and beats HF's error.
+    assert result.correlation_recovered[-1] > 90.0
+    assert result.cafqa_errors[-1] < result.hf_errors[-1]
+    # The cation's energy is above the neutral molecule's at every geometry.
+    for point in result.points:
+        assert point.extra_series["cafqa_cation"] > point.cafqa_energy

@@ -1,0 +1,34 @@
+"""Fig. 13 — relative accuracy (average / maximum error reduction) vs Hartree-Fock."""
+
+from conftest import bench_scale, print_table
+
+from repro.experiments.fig13_relative_accuracy import run_relative_accuracy
+
+
+def test_fig13_relative_accuracy(benchmark):
+    scale = bench_scale()
+    # The full figure spans eight molecules up to 14 qubits; the smoke run
+    # covers the four cheapest so the whole suite stays laptop-scale.
+    molecules = ("H2", "LiH", "H4", "H6") if scale.name == "smoke" else (
+        "H2", "LiH", "H2O", "N2", "H6", "H8", "H4", "BeH2"
+    )
+
+    result = benchmark.pedantic(
+        lambda: run_relative_accuracy(
+            molecules=molecules, scale=scale, bond_lengths_per_molecule=2, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_table("Fig. 13: CAFQA accuracy relative to Hartree-Fock", result.as_table())
+
+    assert len(result.rows) >= 3
+    for row in result.rows:
+        # CAFQA never does worse than HF, so every ratio is >= 1.
+        assert row.average >= 1.0 - 1e-9
+        assert row.maximum >= row.average - 1e-9
+    # The maxima exceed the averages overall (HF degrades at stretched bonds).
+    assert result.geomean_maximum >= result.geomean_average - 1e-9
+    # And CAFQA improves on HF by a large factor somewhere in the suite.
+    assert max(row.maximum for row in result.rows) > 5.0

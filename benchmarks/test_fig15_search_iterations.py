@@ -1,0 +1,31 @@
+"""Fig. 15 — Bayesian-search iterations to converge, per VQA problem."""
+
+from conftest import bench_scale, print_table
+
+from repro.experiments.fig15_search_iterations import run_search_iterations
+
+
+def test_fig15_search_iterations(benchmark):
+    scale = bench_scale()
+    molecules = ("H2", "H4", "LiH", "H6") if scale.name == "smoke" else (
+        "H2", "H4", "LiH", "H6", "H2O", "N2", "BeH2"
+    )
+
+    result = benchmark.pedantic(
+        lambda: run_search_iterations(molecules=molecules, scale=scale, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+
+    print_table("Fig. 15: BO search iterations to converge", result.as_table())
+
+    rows = result.rows
+    assert len(rows) == len(molecules)
+    for row in rows:
+        assert 1 <= row.converged_iteration <= row.total_evaluations
+        assert row.final_energy <= row.hf_energy + 1e-9
+    # Iteration counts tend to grow with problem size: the largest problem needs
+    # at least as many iterations as the smallest one.
+    smallest = min(rows, key=lambda r: r.num_parameters)
+    largest = max(rows, key=lambda r: r.num_parameters)
+    assert largest.converged_iteration >= smallest.converged_iteration

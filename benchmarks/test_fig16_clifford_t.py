@@ -1,0 +1,40 @@
+"""Fig. 16 — CAFQA + kT: beyond-Clifford initialization for H2 (and LiH at larger scales)."""
+
+from conftest import bench_scale, print_table
+
+from repro.experiments.fig16_clifford_t import run_clifford_t_curve
+
+
+def test_fig16_clifford_plus_t(benchmark):
+    scale = bench_scale()
+    bond_lengths = [1.0, 1.5, 2.2] if scale.name == "smoke" else [0.74, 1.2, 1.6, 2.2, 2.96]
+
+    result = benchmark.pedantic(
+        lambda: run_clifford_t_curve(
+            "H2", max_t_gates=1, scale=scale, bond_lengths=bond_lengths, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        {
+            "R (A)": point.bond_length,
+            "HF (Ha)": point.hf_energy,
+            "CAFQA (Ha)": point.clifford_energy,
+            "CAFQA+1T (Ha)": point.clifford_t_energy,
+            "exact (Ha)": point.exact_energy,
+            "CAFQA corr %": point.clifford_correlation,
+            "CAFQA+1T corr %": point.clifford_t_correlation,
+            "T gates used": point.num_t_gates_used,
+        }
+        for point in result.points
+    ]
+    print_table("Fig. 16: CAFQA + <=1 T gate for H2", rows)
+
+    # T gates never hurt, and at the intermediate bond length (where Clifford-only
+    # CAFQA is most limited) they recover extra correlation energy.
+    assert result.t_gates_never_hurt()
+    assert result.max_extra_correlation() >= 0.0
+    middle = result.points[len(result.points) // 2]
+    assert middle.clifford_t_correlation >= middle.clifford_correlation - 1e-9

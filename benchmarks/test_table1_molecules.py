@@ -1,0 +1,27 @@
+"""Table 1 — molecule suite characteristics (qubit counts, orbitals, reference energies)."""
+
+from conftest import bench_scale, print_table
+
+from repro.experiments.table1 import run_table1
+
+# The largest chains are exercised by the Fig. 12 benchmark; Table 1 builds the
+# molecules with exact references plus the NaH substitute.
+_SMOKE_MOLECULES = ["H2", "H2+", "LiH", "H4", "H6"]
+_FULL_MOLECULES = None  # all presets
+
+
+def test_table1_molecule_suite(benchmark):
+    scale = bench_scale()
+    molecules = _SMOKE_MOLECULES if scale.name == "smoke" else _FULL_MOLECULES
+
+    result = benchmark.pedantic(
+        lambda: run_table1(molecules=molecules), rounds=1, iterations=1
+    )
+
+    print_table("Table 1: VQA applications and their characteristics", result.as_table())
+    by_name = {row.molecule: row for row in result.rows}
+    assert by_name["H2"].num_qubits == 2
+    assert by_name["LiH"].num_qubits == 4
+    for row in result.rows:
+        if row.exact_energy is not None:
+            assert row.exact_energy <= row.hf_energy + 1e-9

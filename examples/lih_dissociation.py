@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""LiH dissociation curve: CAFQA vs Hartree-Fock vs exact (the paper's Fig. 9).
+
+Sweeps the Li-H bond length, runs the CAFQA Clifford search at each geometry,
+and prints the three energy curves together with the error and the recovered
+correlation energy.  Expect CAFQA to track Hartree-Fock near equilibrium and
+to pull well below it (toward the exact curve) at stretched geometries.
+
+Run:  python examples/lih_dissociation.py [num_points] [search_budget]
+"""
+
+import sys
+
+from repro.core import AccuracySummary, dissociation_curve
+
+
+def main() -> None:
+    num_points = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 250
+
+    low, high = 1.2, 4.4
+    bond_lengths = [round(low + i * (high - low) / (num_points - 1), 2) for i in range(num_points)]
+    print(f"LiH dissociation at {bond_lengths} A (search budget {budget} per point)")
+
+    evaluations = dissociation_curve(
+        "LiH", bond_lengths, max_evaluations=budget, seed=0, ansatz_reps=2
+    )
+
+    header = f"{'R (A)':>6} {'HF':>12} {'CAFQA':>12} {'exact':>12} {'HF err':>10} {'CAFQA err':>10} {'corr %':>7}"
+    print(header)
+    print("-" * len(header))
+    for evaluation in evaluations:
+        summary: AccuracySummary = evaluation.summary
+        print(
+            f"{summary.bond_length:6.2f} {summary.hf_energy:12.6f} {summary.cafqa_energy:12.6f} "
+            f"{summary.exact_energy:12.6f} {summary.hf_error:10.2e} {summary.cafqa_error:10.2e} "
+            f"{summary.recovered_correlation:7.1f}"
+        )
+
+    worst = min(e.summary.recovered_correlation for e in evaluations)
+    print(f"\nCAFQA recovered at least {worst:.1f}% of the correlation energy at every geometry,")
+    print("and was never worse than the Hartree-Fock initialization.")
+
+
+if __name__ == "__main__":
+    main()

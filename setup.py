@@ -1,0 +1,11 @@
+"""Legacy installation shim.
+
+Offline environments sometimes lack the ``wheel`` package that PEP 517
+editable installs require; ``python setup.py develop`` (or
+``pip install -e . --no-use-pep517``) keeps working through this shim.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""CAFQA reproduction: a classical simulation bootstrap for variational quantum algorithms.
+
+The package layers three groups of subsystems:
+
+* quantum substrates — Pauli algebra (:mod:`repro.operators`), circuits and the
+  hardware-efficient ansatz (:mod:`repro.circuits`), stabilizer simulation
+  (:mod:`repro.stabilizer`), statevector / density-matrix simulation
+  (:mod:`repro.statevector`), noise models (:mod:`repro.noise`), and the
+  Clifford+T extension (:mod:`repro.cliffordt`);
+* a quantum-chemistry substrate (:mod:`repro.chemistry`) producing molecular
+  qubit Hamiltonians from scratch (STO-3G integrals, Hartree–Fock, fermionic
+  mappings);
+* the paper's contribution (:mod:`repro.core`): the Clifford ansatz, the
+  Bayesian-optimization search over the discrete Clifford space
+  (:mod:`repro.bayesopt`), post-CAFQA VQE tuning (:mod:`repro.optim`), and the
+  accuracy metrics, plus per-figure experiment drivers
+  (:mod:`repro.experiments`).
+"""
+
+__version__ = "1.0.0"
+
+from repro.exceptions import (
+    ChemistryError,
+    CircuitError,
+    ConvergenceError,
+    NoiseModelError,
+    OperatorError,
+    OptimizationError,
+    ReproError,
+    SimulationError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "CircuitError",
+    "OperatorError",
+    "SimulationError",
+    "ChemistryError",
+    "ConvergenceError",
+    "OptimizationError",
+    "NoiseModelError",
+]

@@ -1,0 +1,32 @@
+"""Discrete Bayesian optimization: random-forest surrogate plus greedy acquisition."""
+
+from repro.bayesopt.acquisition import (
+    AcquisitionFunction,
+    EpsilonGreedyAcquisition,
+    ExpectedImprovement,
+    GreedyAcquisition,
+    LowerConfidenceBound,
+    make_acquisition,
+)
+from repro.bayesopt.forest import DecisionTreeRegressor, RandomForestRegressor
+from repro.bayesopt.optimizer import (
+    BayesianOptimizationResult,
+    BayesianOptimizer,
+    Observation,
+)
+from repro.bayesopt.space import DiscreteSpace
+
+__all__ = [
+    "DiscreteSpace",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "AcquisitionFunction",
+    "GreedyAcquisition",
+    "EpsilonGreedyAcquisition",
+    "ExpectedImprovement",
+    "LowerConfidenceBound",
+    "make_acquisition",
+    "BayesianOptimizer",
+    "BayesianOptimizationResult",
+    "Observation",
+]

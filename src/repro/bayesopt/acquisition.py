@@ -1,0 +1,102 @@
+"""Acquisition functions for the discrete Bayesian search.
+
+CAFQA uses a greedy acquisition (pick the candidate with the lowest surrogate
+prediction).  Epsilon-greedy and expected-improvement variants are provided
+for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.exceptions import OptimizationError
+
+
+class AcquisitionFunction(ABC):
+    """Scores candidate points; *lower scores are better* (we minimize energy)."""
+
+    @abstractmethod
+    def score(
+        self,
+        mean: np.ndarray,
+        std: np.ndarray,
+        best_observed: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return a score per candidate; the optimizer picks the minimum."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class GreedyAcquisition(AcquisitionFunction):
+    """Pick the candidate with the lowest predicted objective (the paper's choice)."""
+
+    def score(self, mean, std, best_observed, rng):
+        del std, best_observed, rng
+        return np.asarray(mean, dtype=float)
+
+
+class EpsilonGreedyAcquisition(AcquisitionFunction):
+    """Greedy, but with probability ``epsilon`` rank candidates randomly."""
+
+    def __init__(self, epsilon: float = 0.1):
+        if not 0.0 <= epsilon <= 1.0:
+            raise OptimizationError("epsilon must be in [0, 1]")
+        self._epsilon = float(epsilon)
+
+    def score(self, mean, std, best_observed, rng):
+        del std, best_observed
+        mean = np.asarray(mean, dtype=float)
+        if rng.random() < self._epsilon:
+            return rng.random(len(mean))
+        return mean
+
+
+class ExpectedImprovement(AcquisitionFunction):
+    """Negative expected improvement below the best observed value."""
+
+    def __init__(self, exploration: float = 0.0):
+        self._exploration = float(exploration)
+
+    def score(self, mean, std, best_observed, rng):
+        del rng
+        mean = np.asarray(mean, dtype=float)
+        std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+        improvement = best_observed - self._exploration - mean
+        standardized = improvement / std
+        expected = improvement * norm.cdf(standardized) + std * norm.pdf(standardized)
+        return -expected
+
+
+class LowerConfidenceBound(AcquisitionFunction):
+    """mean - kappa * std (optimistic-under-uncertainty minimization)."""
+
+    def __init__(self, kappa: float = 1.0):
+        if kappa < 0:
+            raise OptimizationError("kappa must be non-negative")
+        self._kappa = float(kappa)
+
+    def score(self, mean, std, best_observed, rng):
+        del best_observed, rng
+        return np.asarray(mean, dtype=float) - self._kappa * np.asarray(std, dtype=float)
+
+
+def make_acquisition(name: str, **kwargs) -> AcquisitionFunction:
+    """Factory used by configuration-driven experiments."""
+    registry = {
+        "greedy": GreedyAcquisition,
+        "epsilon_greedy": EpsilonGreedyAcquisition,
+        "expected_improvement": ExpectedImprovement,
+        "lcb": LowerConfidenceBound,
+    }
+    try:
+        return registry[name](**kwargs)
+    except KeyError:
+        raise OptimizationError(
+            f"unknown acquisition {name!r}; available: {', '.join(sorted(registry))}"
+        ) from None

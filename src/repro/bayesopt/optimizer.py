@@ -1,0 +1,247 @@
+"""Discrete Bayesian optimization loop (warm-up sampling + surrogate-guided search).
+
+This mirrors the HyperMapper-style search the paper uses: a random warm-up
+phase maps the space, then each round fits the random-forest surrogate on all
+observations, scores a candidate pool with the acquisition function, and
+evaluates the best-scoring unseen candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayesopt.acquisition import AcquisitionFunction, GreedyAcquisition
+from repro.bayesopt.forest import RandomForestRegressor
+from repro.bayesopt.space import DiscreteSpace
+from repro.exceptions import OptimizationError
+
+Point = Tuple[int, ...]
+
+
+@dataclass
+class Observation:
+    """A single evaluated point."""
+
+    point: Point
+    value: float
+    iteration: int
+    phase: str  # "warmup", "seed", or "search"
+
+
+@dataclass
+class BayesianOptimizationResult:
+    """Everything the experiments need about one search run."""
+
+    best_point: Point
+    best_value: float
+    observations: List[Observation]
+    num_iterations: int
+    converged_iteration: int
+
+    @property
+    def history(self) -> List[float]:
+        """Objective value per evaluation, in order."""
+        return [obs.value for obs in self.observations]
+
+    @property
+    def best_so_far(self) -> List[float]:
+        """Running minimum of the objective (the usual BO trace plot)."""
+        trace = []
+        best = np.inf
+        for obs in self.observations:
+            best = min(best, obs.value)
+            trace.append(best)
+        return trace
+
+    def iterations_to_reach(self, threshold: float) -> Optional[int]:
+        """First evaluation index (1-based) whose running best is <= threshold."""
+        for index, value in enumerate(self.best_so_far, start=1):
+            if value <= threshold:
+                return index
+        return None
+
+
+class BayesianOptimizer:
+    """Sample-efficient minimizer over a :class:`DiscreteSpace`.
+
+    Parameters
+    ----------
+    space:
+        The discrete search space.
+    warmup_evaluations:
+        Number of uniformly random evaluations before the surrogate is used
+        (the paper's "first 1,000 iterations are a warm-up period", scaled to
+        the problem at hand).
+    candidate_pool_size:
+        Number of candidate points scored by the acquisition per round
+        (mix of random points and mutations of the incumbent).
+    surrogate_factory / acquisition:
+        Overridable for ablation studies; defaults follow the paper (random
+        forest + greedy acquisition).
+    seed_points:
+        Points evaluated up front regardless of the random warm-up (CAFQA
+        seeds the Hartree–Fock Clifford point so it can never do worse).
+    convergence_patience:
+        Stop early when the best value has not improved for this many
+        consecutive evaluations (None disables early stopping).
+    """
+
+    def __init__(
+        self,
+        space: DiscreteSpace,
+        warmup_evaluations: int = 100,
+        candidate_pool_size: int = 200,
+        surrogate_factory: Optional[Callable[[], RandomForestRegressor]] = None,
+        acquisition: Optional[AcquisitionFunction] = None,
+        seed_points: Optional[Sequence[Sequence[int]]] = None,
+        convergence_patience: Optional[int] = None,
+        refit_interval: int = 1,
+        seed: Optional[int] = None,
+    ):
+        if warmup_evaluations < 1:
+            raise OptimizationError("need at least one warm-up evaluation")
+        if candidate_pool_size < 1:
+            raise OptimizationError("candidate pool must contain at least one point")
+        self._space = space
+        self._warmup = int(warmup_evaluations)
+        self._pool_size = int(candidate_pool_size)
+        self._surrogate_factory = surrogate_factory or (
+            lambda: RandomForestRegressor(num_trees=12, max_depth=10, seed=seed)
+        )
+        self._acquisition = acquisition or GreedyAcquisition()
+        self._seed_points = [tuple(int(v) for v in p) for p in (seed_points or [])]
+        self._patience = convergence_patience
+        self._refit_interval = max(1, int(refit_interval))
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    def minimize(
+        self,
+        objective: Callable[[Point], float],
+        max_evaluations: int,
+        callback: Optional[Callable[[Observation], None]] = None,
+    ) -> BayesianOptimizationResult:
+        """Minimize ``objective`` with at most ``max_evaluations`` evaluations."""
+        if max_evaluations < 1:
+            raise OptimizationError("max_evaluations must be positive")
+        observations: List[Observation] = []
+        seen: set[Point] = set()
+        best_point: Optional[Point] = None
+        best_value = np.inf
+        stale = 0
+        converged_iteration = 0
+
+        def record(point: Point, phase: str) -> None:
+            nonlocal best_point, best_value, stale, converged_iteration
+            value = float(objective(point))
+            observation = Observation(
+                point=point, value=value, iteration=len(observations) + 1, phase=phase
+            )
+            observations.append(observation)
+            seen.add(point)
+            if value < best_value - 1e-12:
+                best_value = value
+                best_point = point
+                stale = 0
+                converged_iteration = observation.iteration
+            else:
+                stale += 1
+            if callback is not None:
+                callback(observation)
+
+        # Seed points (e.g. the Hartree-Fock Clifford point) come first.
+        for point in self._seed_points:
+            if len(observations) >= max_evaluations:
+                break
+            point = self._space.validate(point)
+            if point not in seen:
+                record(point, "seed")
+
+        # Warm-up phase: uniform random exploration.
+        warmup_budget = min(self._warmup, max_evaluations - len(observations))
+        attempts = 0
+        while warmup_budget > 0 and attempts < 50 * self._warmup:
+            attempts += 1
+            candidate = self._space.sample(1, self._rng)[0]
+            if candidate in seen and self._space.size > len(seen):
+                continue
+            record(candidate, "warmup")
+            warmup_budget -= 1
+            if self._stopped(stale):
+                break
+
+        # Model-guided phase.
+        surrogate = None
+        rounds_since_fit = self._refit_interval
+        while len(observations) < max_evaluations and not self._stopped(stale):
+            if rounds_since_fit >= self._refit_interval or surrogate is None:
+                surrogate = self._fit_surrogate(observations)
+                rounds_since_fit = 0
+            candidate = self._propose(surrogate, observations, seen, best_point)
+            if candidate is None:
+                break
+            record(candidate, "search")
+            rounds_since_fit += 1
+
+        if best_point is None:
+            raise OptimizationError("no evaluations were performed")
+        return BayesianOptimizationResult(
+            best_point=best_point,
+            best_value=best_value,
+            observations=observations,
+            num_iterations=len(observations),
+            converged_iteration=converged_iteration,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _stopped(self, stale: int) -> bool:
+        return self._patience is not None and stale >= self._patience
+
+    def _fit_surrogate(self, observations: Sequence[Observation]) -> RandomForestRegressor:
+        # Cap the surrogate's training set so model fitting stays cheap on long
+        # runs: keep the best observations plus a random subsample of the rest.
+        max_training = 400
+        if len(observations) > max_training:
+            ranked = sorted(observations, key=lambda obs: obs.value)
+            keep = ranked[: max_training // 2]
+            rest = ranked[max_training // 2 :]
+            extra_indices = self._rng.choice(
+                len(rest), size=max_training - len(keep), replace=False
+            )
+            training = keep + [rest[int(i)] for i in extra_indices]
+        else:
+            training = list(observations)
+        features = self._space.to_array([obs.point for obs in training])
+        targets = np.array([obs.value for obs in training])
+        surrogate = self._surrogate_factory()
+        surrogate.fit(features, targets)
+        return surrogate
+
+    def _propose(
+        self,
+        surrogate: RandomForestRegressor,
+        observations: Sequence[Observation],
+        seen: set[Point],
+        best_point: Optional[Point],
+    ) -> Optional[Point]:
+        pool: List[Point] = self._space.sample(self._pool_size // 2, self._rng)
+        if best_point is not None:
+            pool += self._space.neighbors(
+                best_point, self._rng, count=self._pool_size - len(pool)
+            )
+        unseen = [point for point in dict.fromkeys(pool) if point not in seen]
+        if not unseen:
+            # Space may be nearly exhausted; fall back to any unseen random point.
+            for _ in range(1000):
+                candidate = self._space.sample(1, self._rng)[0]
+                if candidate not in seen:
+                    return candidate
+            return None
+        features = self._space.to_array(unseen)
+        mean, std = surrogate.predict_with_uncertainty(features)
+        best_observed = min(obs.value for obs in observations)
+        scores = self._acquisition.score(mean, std, best_observed, self._rng)
+        return unseen[int(np.argmin(scores))]

@@ -1,0 +1,103 @@
+"""Discrete search spaces for Bayesian optimization.
+
+CAFQA's search space is one categorical variable per ansatz parameter, each
+taking one of the four Clifford rotation indices {0, 1, 2, 3}.  The space
+abstraction is kept generic (per-dimension cardinality) so the optimizer can
+also be unit-tested on synthetic combinatorial problems.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import OptimizationError
+
+
+class DiscreteSpace:
+    """A product of finite categorical dimensions."""
+
+    def __init__(self, cardinalities: Sequence[int]):
+        cards = [int(c) for c in cardinalities]
+        if not cards:
+            raise OptimizationError("the search space needs at least one dimension")
+        if any(c < 1 for c in cards):
+            raise OptimizationError("every dimension needs at least one value")
+        self._cardinalities = tuple(cards)
+
+    @classmethod
+    def clifford(cls, num_parameters: int) -> "DiscreteSpace":
+        """The CAFQA space: ``num_parameters`` dimensions of cardinality 4."""
+        if num_parameters < 1:
+            raise OptimizationError("need at least one tunable parameter")
+        return cls([4] * num_parameters)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_dimensions(self) -> int:
+        return len(self._cardinalities)
+
+    @property
+    def cardinalities(self) -> Tuple[int, ...]:
+        return self._cardinalities
+
+    @property
+    def size(self) -> int:
+        """Total number of points in the space."""
+        total = 1
+        for cardinality in self._cardinalities:
+            total *= cardinality
+        return total
+
+    def contains(self, point: Sequence[int]) -> bool:
+        if len(point) != self.num_dimensions:
+            return False
+        return all(0 <= int(v) < c for v, c in zip(point, self._cardinalities))
+
+    def validate(self, point: Sequence[int]) -> Tuple[int, ...]:
+        if not self.contains(point):
+            raise OptimizationError(f"point {tuple(point)} is outside the search space")
+        return tuple(int(v) for v in point)
+
+    # ------------------------------------------------------------------ #
+    def sample(self, count: int, rng: np.random.Generator) -> List[Tuple[int, ...]]:
+        """Uniform random samples (with replacement)."""
+        columns = [rng.integers(0, c, size=count) for c in self._cardinalities]
+        return [tuple(int(column[i]) for column in columns) for i in range(count)]
+
+    def neighbors(
+        self,
+        point: Sequence[int],
+        rng: np.random.Generator,
+        count: int,
+        mutation_rate: float = 0.15,
+    ) -> List[Tuple[int, ...]]:
+        """Random mutations of ``point`` (at least one coordinate changes)."""
+        point = self.validate(point)
+        results: List[Tuple[int, ...]] = []
+        for _ in range(count):
+            mutated = list(point)
+            changed = False
+            for dimension, cardinality in enumerate(self._cardinalities):
+                if cardinality > 1 and rng.random() < mutation_rate:
+                    choices = [v for v in range(cardinality) if v != mutated[dimension]]
+                    mutated[dimension] = int(rng.choice(choices))
+                    changed = True
+            if not changed:
+                dimension = int(rng.integers(0, self.num_dimensions))
+                cardinality = self._cardinalities[dimension]
+                if cardinality > 1:
+                    choices = [v for v in range(cardinality) if v != mutated[dimension]]
+                    mutated[dimension] = int(rng.choice(choices))
+            results.append(tuple(mutated))
+        return results
+
+    def to_array(self, points: Iterable[Sequence[int]]) -> np.ndarray:
+        """Stack points into a float feature matrix for the surrogate model."""
+        return np.asarray([list(point) for point in points], dtype=float)
+
+    def __repr__(self) -> str:
+        if len(set(self._cardinalities)) == 1:
+            return f"DiscreteSpace({self.num_dimensions} dims x {self._cardinalities[0]})"
+        return f"DiscreteSpace({self._cardinalities})"

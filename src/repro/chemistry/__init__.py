@@ -1,0 +1,73 @@
+"""Quantum chemistry substrate: STO-3G integrals, Hartree-Fock, qubit Hamiltonians."""
+
+from repro.chemistry.active_space import (
+    ActiveSpaceHamiltonian,
+    build_active_space,
+    select_sigma_active_orbitals,
+    transform_to_mo_basis,
+)
+from repro.chemistry.basis import BasisFunction, build_sto3g_basis, supported_elements
+from repro.chemistry.exact import ExactResult, exact_ground_state, exact_ground_state_energy
+from repro.chemistry.fermion import (
+    FermionTerm,
+    electronic_hamiltonian_terms,
+    hartree_fock_occupations,
+    number_operator_terms,
+    spin_z_operator_terms,
+)
+from repro.chemistry.geometry import Atom, Molecule
+from repro.chemistry.hamiltonian import MolecularProblem, build_molecular_problem
+from repro.chemistry.integrals import IntegralEngine, boys_function
+from repro.chemistry.mappings import (
+    JORDAN_WIGNER,
+    PARITY,
+    map_fermion_terms,
+    occupations_to_qubit_bits,
+    taper_bits,
+    taper_two_qubits,
+)
+from repro.chemistry.molecules import (
+    MoleculePreset,
+    available_molecules,
+    get_preset,
+    make_problem,
+    table1_rows,
+)
+from repro.chemistry.scf import RestrictedHartreeFock, SCFResult
+
+__all__ = [
+    "Atom",
+    "Molecule",
+    "BasisFunction",
+    "build_sto3g_basis",
+    "supported_elements",
+    "IntegralEngine",
+    "boys_function",
+    "RestrictedHartreeFock",
+    "SCFResult",
+    "ActiveSpaceHamiltonian",
+    "build_active_space",
+    "select_sigma_active_orbitals",
+    "transform_to_mo_basis",
+    "FermionTerm",
+    "electronic_hamiltonian_terms",
+    "number_operator_terms",
+    "spin_z_operator_terms",
+    "hartree_fock_occupations",
+    "JORDAN_WIGNER",
+    "PARITY",
+    "map_fermion_terms",
+    "taper_two_qubits",
+    "taper_bits",
+    "occupations_to_qubit_bits",
+    "MolecularProblem",
+    "build_molecular_problem",
+    "ExactResult",
+    "exact_ground_state",
+    "exact_ground_state_energy",
+    "MoleculePreset",
+    "available_molecules",
+    "get_preset",
+    "make_problem",
+    "table1_rows",
+]

@@ -1,0 +1,5 @@
+"""Gaussian basis sets (currently STO-3G)."""
+
+from repro.chemistry.basis.sto3g import BasisFunction, build_sto3g_basis, supported_elements
+
+__all__ = ["BasisFunction", "build_sto3g_basis", "supported_elements"]

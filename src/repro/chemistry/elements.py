@@ -1,0 +1,32 @@
+"""Minimal periodic-table data needed to build molecular Hamiltonians."""
+
+from __future__ import annotations
+
+from repro.exceptions import ChemistryError
+
+ATOMIC_NUMBERS = {
+    "H": 1,
+    "He": 2,
+    "Li": 3,
+    "Be": 4,
+    "B": 5,
+    "C": 6,
+    "N": 7,
+    "O": 8,
+    "F": 9,
+    "Ne": 10,
+}
+
+# Conversion factor: 1 Angstrom in Bohr radii (CODATA).
+ANGSTROM_TO_BOHR = 1.0 / 0.52917721067
+
+
+def atomic_number(symbol: str) -> int:
+    """Atomic number for an element symbol supported by the STO-3G basis."""
+    normalized = symbol.strip().capitalize()
+    if normalized not in ATOMIC_NUMBERS:
+        supported = ", ".join(sorted(ATOMIC_NUMBERS))
+        raise ChemistryError(
+            f"element {symbol!r} is not supported (available: {supported})"
+        )
+    return ATOMIC_NUMBERS[normalized]

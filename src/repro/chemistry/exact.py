@@ -1,0 +1,69 @@
+"""Exact (full configuration interaction) reference energies.
+
+The paper's "Exact" baseline is a noise-free classical diagonalization of the
+qubit Hamiltonian; it is available only for small problem sizes, exactly as
+here (sparse Lanczos up to ~16 qubits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.sparse.linalg import eigsh
+
+from repro.exceptions import ChemistryError
+from repro.operators.pauli_sum import PauliSum
+from repro.statevector.simulator import Statevector
+
+# Beyond this many qubits the dense/sparse diagonalization becomes impractical
+# on a laptop; callers should treat exact references as unavailable (as the
+# paper does for Cr2).
+MAX_EXACT_QUBITS = 16
+
+
+@dataclass
+class ExactResult:
+    """Ground-state energy and state of a qubit Hamiltonian."""
+
+    energy: float
+    state: Statevector
+    num_qubits: int
+
+    def __repr__(self) -> str:
+        return f"ExactResult(E={self.energy:.8f} Ha, {self.num_qubits} qubits)"
+
+
+def exact_ground_state(
+    hamiltonian: PauliSum, max_qubits: Optional[int] = MAX_EXACT_QUBITS
+) -> ExactResult:
+    """Lowest eigenvalue and eigenvector of a Pauli-sum Hamiltonian."""
+    if not hamiltonian.is_hermitian():
+        raise ChemistryError("Hamiltonian must be Hermitian for ground-state search")
+    num_qubits = hamiltonian.num_qubits
+    if max_qubits is not None and num_qubits > max_qubits:
+        raise ChemistryError(
+            f"{num_qubits} qubits exceeds the exact-diagonalization limit ({max_qubits}); "
+            "no exact reference is available for this problem size"
+        )
+    if num_qubits <= 4:
+        matrix = hamiltonian.to_matrix()
+        eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+        ground_energy = float(eigenvalues[0])
+        ground_state = eigenvectors[:, 0]
+    else:
+        sparse = hamiltonian.to_sparse_matrix()
+        eigenvalues, eigenvectors = eigsh(sparse, k=1, which="SA")
+        ground_energy = float(eigenvalues[0])
+        ground_state = eigenvectors[:, 0]
+    return ExactResult(
+        energy=ground_energy,
+        state=Statevector(np.asarray(ground_state, dtype=complex), num_qubits),
+        num_qubits=num_qubits,
+    )
+
+
+def exact_ground_state_energy(hamiltonian: PauliSum) -> float:
+    """Convenience wrapper returning only the ground-state energy."""
+    return exact_ground_state(hamiltonian).energy

@@ -1,0 +1,144 @@
+"""Second-quantized fermionic operators in the spin-orbital basis.
+
+Spin orbitals use block ordering: indices ``0..M-1`` are the alpha (spin-up)
+orbitals and ``M..2M-1`` the beta (spin-down) orbitals, where ``M`` is the
+number of active spatial orbitals.  This ordering is what makes the parity
+mapping's two-qubit reduction possible (qubit ``M-1`` then carries the alpha
+parity and qubit ``2M-1`` the total parity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.chemistry.active_space import ActiveSpaceHamiltonian
+
+# A ladder operator: (spin_orbital_index, is_creation).
+LadderOperator = Tuple[int, bool]
+
+
+@dataclass(frozen=True)
+class FermionTerm:
+    """A product of ladder operators times a coefficient (applied left to right as written)."""
+
+    operators: Tuple[LadderOperator, ...]
+    coefficient: float
+
+    def __repr__(self) -> str:
+        symbols = " ".join(
+            f"a{'^' if creation else ''}_{index}" for index, creation in self.operators
+        )
+        return f"FermionTerm({self.coefficient:+.6g} * {symbols})"
+
+
+def alpha_index(spatial: int, num_spatial: int) -> int:
+    """Spin-orbital index of the alpha spin orbital for ``spatial``."""
+    del num_spatial  # kept for signature symmetry with beta_index
+    return spatial
+
+
+def beta_index(spatial: int, num_spatial: int) -> int:
+    """Spin-orbital index of the beta spin orbital for ``spatial``."""
+    return num_spatial + spatial
+
+
+def electronic_hamiltonian_terms(active_space: ActiveSpaceHamiltonian) -> List[FermionTerm]:
+    """Second-quantized electronic Hamiltonian for an active space.
+
+    Uses the standard chemist-notation form
+
+    ``H = sum_pq h_pq a+_ps a_qs + 1/2 sum_pqrs (pq|rs) a+_ps a+_rt a_st a_qs``
+
+    summed over spins ``s``, ``t`` (the constant core energy is *not*
+    included; it is added back by the qubit Hamiltonian builder).
+    """
+    num_spatial = active_space.num_active_orbitals
+    one_body = active_space.one_body
+    two_body = active_space.two_body
+    terms: List[FermionTerm] = []
+
+    spins = (alpha_index, beta_index)
+    for p in range(num_spatial):
+        for q in range(num_spatial):
+            coefficient = float(one_body[p, q])
+            if abs(coefficient) < 1e-12:
+                continue
+            for spin in spins:
+                terms.append(
+                    FermionTerm(
+                        operators=(
+                            (spin(p, num_spatial), True),
+                            (spin(q, num_spatial), False),
+                        ),
+                        coefficient=coefficient,
+                    )
+                )
+
+    for p in range(num_spatial):
+        for q in range(num_spatial):
+            for r in range(num_spatial):
+                for s in range(num_spatial):
+                    coefficient = 0.5 * float(two_body[p, q, r, s])
+                    if abs(coefficient) < 1e-12:
+                        continue
+                    for spin_one in spins:
+                        for spin_two in spins:
+                            creation_p = (spin_one(p, num_spatial), True)
+                            creation_r = (spin_two(r, num_spatial), True)
+                            annihilation_s = (spin_two(s, num_spatial), False)
+                            annihilation_q = (spin_one(q, num_spatial), False)
+                            terms.append(
+                                FermionTerm(
+                                    operators=(
+                                        creation_p,
+                                        creation_r,
+                                        annihilation_s,
+                                        annihilation_q,
+                                    ),
+                                    coefficient=coefficient,
+                                )
+                            )
+    return terms
+
+
+def number_operator_terms(
+    num_spatial: int, spin: Optional[str] = None
+) -> List[FermionTerm]:
+    """Particle-number operator ``N`` (or ``N_alpha`` / ``N_beta``) as fermionic terms."""
+    terms: List[FermionTerm] = []
+    include_alpha = spin in (None, "alpha")
+    include_beta = spin in (None, "beta")
+    if spin not in (None, "alpha", "beta"):
+        raise ValueError(f"spin must be None, 'alpha' or 'beta', got {spin!r}")
+    for p in range(num_spatial):
+        if include_alpha:
+            index = alpha_index(p, num_spatial)
+            terms.append(FermionTerm(((index, True), (index, False)), 1.0))
+        if include_beta:
+            index = beta_index(p, num_spatial)
+            terms.append(FermionTerm(((index, True), (index, False)), 1.0))
+    return terms
+
+
+def spin_z_operator_terms(num_spatial: int) -> List[FermionTerm]:
+    """The S_z operator, ``(N_alpha - N_beta) / 2``, as fermionic terms."""
+    terms: List[FermionTerm] = []
+    for p in range(num_spatial):
+        a = alpha_index(p, num_spatial)
+        b = beta_index(p, num_spatial)
+        terms.append(FermionTerm(((a, True), (a, False)), 0.5))
+        terms.append(FermionTerm(((b, True), (b, False)), -0.5))
+    return terms
+
+
+def hartree_fock_occupations(
+    num_spatial: int, num_alpha: int, num_beta: int
+) -> np.ndarray:
+    """Spin-orbital occupation vector of the Hartree–Fock determinant."""
+    occupations = np.zeros(2 * num_spatial, dtype=int)
+    occupations[:num_alpha] = 1
+    occupations[num_spatial : num_spatial + num_beta] = 1
+    return occupations

@@ -1,0 +1,119 @@
+"""Molecular geometries: atoms, coordinates, charge, and spin."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.chemistry.elements import ANGSTROM_TO_BOHR, atomic_number
+from repro.exceptions import ChemistryError
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A single atom with coordinates stored in Bohr."""
+
+    symbol: str
+    position: Tuple[float, float, float]
+
+    @property
+    def atomic_number(self) -> int:
+        return atomic_number(self.symbol)
+
+
+@dataclass
+class Molecule:
+    """A molecule defined by its atoms, total charge, and spin multiplicity.
+
+    ``multiplicity`` is ``2S + 1`` (1 = singlet, 3 = triplet); it determines
+    the numbers of alpha and beta electrons used for the Hartree–Fock
+    occupation and for CAFQA's particle-sector constraints.
+    """
+
+    atoms: List[Atom]
+    charge: int = 0
+    multiplicity: int = 1
+    name: str = "molecule"
+    _validated: bool = field(default=False, repr=False)
+
+    def __post_init__(self):
+        if not self.atoms:
+            raise ChemistryError("a molecule needs at least one atom")
+        if self.multiplicity < 1:
+            raise ChemistryError("multiplicity must be >= 1")
+        unpaired = self.multiplicity - 1
+        if (self.num_electrons - unpaired) % 2 != 0:
+            raise ChemistryError(
+                f"{self.name}: {self.num_electrons} electrons are inconsistent with "
+                f"multiplicity {self.multiplicity}"
+            )
+        if self.num_electrons <= 0:
+            raise ChemistryError(f"{self.name}: molecule has no electrons")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_angstrom(
+        cls,
+        geometry: Sequence[Tuple[str, Tuple[float, float, float]]],
+        charge: int = 0,
+        multiplicity: int = 1,
+        name: str = "molecule",
+    ) -> "Molecule":
+        """Build a molecule from (symbol, xyz-in-Angstrom) pairs."""
+        atoms = [
+            Atom(symbol, tuple(float(c) * ANGSTROM_TO_BOHR for c in coordinates))
+            for symbol, coordinates in geometry
+        ]
+        return cls(atoms=atoms, charge=charge, multiplicity=multiplicity, name=name)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_atoms(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def nuclear_charges(self) -> List[int]:
+        return [atom.atomic_number for atom in self.atoms]
+
+    @property
+    def num_electrons(self) -> int:
+        return sum(self.nuclear_charges) - self.charge
+
+    @property
+    def num_alpha(self) -> int:
+        """Number of spin-up electrons (alpha >= beta by convention)."""
+        unpaired = self.multiplicity - 1
+        return (self.num_electrons + unpaired) // 2
+
+    @property
+    def num_beta(self) -> int:
+        return self.num_electrons - self.num_alpha
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        """(num_atoms, 3) array of positions in Bohr."""
+        return np.array([atom.position for atom in self.atoms], dtype=float)
+
+    def nuclear_repulsion_energy(self) -> float:
+        """Classical Coulomb repulsion between the nuclei, in Hartree."""
+        energy = 0.0
+        positions = self.coordinates
+        charges = self.nuclear_charges
+        for i in range(self.num_atoms):
+            for j in range(i + 1, self.num_atoms):
+                distance = float(np.linalg.norm(positions[i] - positions[j]))
+                if distance < 1e-10:
+                    raise ChemistryError(
+                        f"{self.name}: atoms {i} and {j} are at the same position"
+                    )
+                energy += charges[i] * charges[j] / distance
+        return energy
+
+    def __repr__(self) -> str:
+        formula = "".join(f"{a.symbol}" for a in self.atoms)
+        return (
+            f"Molecule({self.name!r}, {formula}, charge={self.charge}, "
+            f"multiplicity={self.multiplicity})"
+        )

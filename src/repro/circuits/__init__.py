@@ -1,0 +1,51 @@
+"""Parameterized circuit IR, gate library, and hardware-efficient ansatz."""
+
+from repro.circuits.ansatz import EfficientSU2Ansatz, entangling_pairs, hartree_fock_circuit
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.clifford_points import (
+    CLIFFORD_ANGLES,
+    angles_to_indices,
+    bind_clifford_point,
+    enumerate_clifford_points,
+    hartree_fock_clifford_point,
+    indices_to_angles,
+    random_clifford_points,
+    search_space_size,
+)
+from repro.circuits.gates import (
+    CLIFFORD_GATES,
+    NON_CLIFFORD_GATES,
+    ROTATION_GATES,
+    Gate,
+    angle_from_clifford_index,
+    clifford_index_from_angle,
+    is_clifford_angle,
+    rotation_matrix,
+)
+from repro.circuits.parameters import Parameter, ParameterVector, bind_parameters
+
+__all__ = [
+    "QuantumCircuit",
+    "Gate",
+    "Parameter",
+    "ParameterVector",
+    "bind_parameters",
+    "EfficientSU2Ansatz",
+    "entangling_pairs",
+    "hartree_fock_circuit",
+    "CLIFFORD_GATES",
+    "NON_CLIFFORD_GATES",
+    "ROTATION_GATES",
+    "rotation_matrix",
+    "is_clifford_angle",
+    "clifford_index_from_angle",
+    "angle_from_clifford_index",
+    "CLIFFORD_ANGLES",
+    "indices_to_angles",
+    "angles_to_indices",
+    "bind_clifford_point",
+    "search_space_size",
+    "enumerate_clifford_points",
+    "random_clifford_points",
+    "hartree_fock_clifford_point",
+]

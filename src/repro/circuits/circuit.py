@@ -1,0 +1,201 @@
+"""Parameterized quantum circuit intermediate representation.
+
+The circuit is a flat, ordered list of :class:`~repro.circuits.gates.Gate`
+instances.  It supports symbolic parameters (bound later via
+:meth:`QuantumCircuit.bind`), composition, and Clifford classification —
+everything CAFQA needs, without the weight of a full compiler IR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence
+
+from repro.circuits.gates import Gate
+from repro.circuits.parameters import Parameter, bind_parameters
+from repro.exceptions import CircuitError
+
+
+class QuantumCircuit:
+    """An ordered sequence of gates on ``num_qubits`` qubits."""
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 1:
+            raise CircuitError("a circuit needs at least one qubit")
+        self._num_qubits = int(num_qubits)
+        self._gates: List[Gate] = []
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append a gate, validating its qubit indices.  Returns self."""
+        for qubit in gate.qubits:
+            if not 0 <= qubit < self._num_qubits:
+                raise CircuitError(
+                    f"qubit {qubit} out of range for a {self._num_qubits}-qubit circuit"
+                )
+        self._gates.append(gate)
+        return self
+
+    def _append_named(self, name, qubits, parameter=None) -> "QuantumCircuit":
+        return self.append(Gate(name, tuple(qubits), parameter))
+
+    # single-qubit fixed gates
+    def id(self, qubit: int) -> "QuantumCircuit":
+        return self._append_named("id", (qubit,))
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        return self._append_named("x", (qubit,))
+
+    def y(self, qubit: int) -> "QuantumCircuit":
+        return self._append_named("y", (qubit,))
+
+    def z(self, qubit: int) -> "QuantumCircuit":
+        return self._append_named("z", (qubit,))
+
+    def h(self, qubit: int) -> "QuantumCircuit":
+        return self._append_named("h", (qubit,))
+
+    def s(self, qubit: int) -> "QuantumCircuit":
+        return self._append_named("s", (qubit,))
+
+    def sdg(self, qubit: int) -> "QuantumCircuit":
+        return self._append_named("sdg", (qubit,))
+
+    def sx(self, qubit: int) -> "QuantumCircuit":
+        return self._append_named("sx", (qubit,))
+
+    def sxdg(self, qubit: int) -> "QuantumCircuit":
+        return self._append_named("sxdg", (qubit,))
+
+    def t(self, qubit: int) -> "QuantumCircuit":
+        return self._append_named("t", (qubit,))
+
+    def tdg(self, qubit: int) -> "QuantumCircuit":
+        return self._append_named("tdg", (qubit,))
+
+    # rotations
+    def rx(self, theta, qubit: int) -> "QuantumCircuit":
+        return self._append_named("rx", (qubit,), theta)
+
+    def ry(self, theta, qubit: int) -> "QuantumCircuit":
+        return self._append_named("ry", (qubit,), theta)
+
+    def rz(self, theta, qubit: int) -> "QuantumCircuit":
+        return self._append_named("rz", (qubit,), theta)
+
+    # two-qubit gates
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self._append_named("cx", (control, target))
+
+    def cz(self, control: int, target: int) -> "QuantumCircuit":
+        return self._append_named("cz", (control, target))
+
+    def swap(self, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        return self._append_named("swap", (qubit_a, qubit_b))
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Return a new circuit running ``self`` then ``other``."""
+        if other.num_qubits != self._num_qubits:
+            raise CircuitError("cannot compose circuits with different qubit counts")
+        combined = QuantumCircuit(self._num_qubits)
+        combined._gates = list(self._gates) + list(other._gates)
+        return combined
+
+    def copy(self) -> "QuantumCircuit":
+        duplicate = QuantumCircuit(self._num_qubits)
+        duplicate._gates = list(self._gates)
+        return duplicate
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def gates(self) -> Sequence[Gate]:
+        return tuple(self._gates)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self._gates)
+
+    @property
+    def parameters(self) -> List[Parameter]:
+        """Unbound parameters in order of first appearance (no duplicates)."""
+        seen: Dict[Parameter, None] = {}
+        for gate in self._gates:
+            if gate.is_parameterized and gate.parameter not in seen:
+                seen[gate.parameter] = None
+        return list(seen)
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.parameters)
+
+    def is_parameterized(self) -> bool:
+        return any(gate.is_parameterized for gate in self._gates)
+
+    def is_clifford(self, tolerance: float = 1e-9) -> bool:
+        """True if every gate (with bound parameters) is Clifford."""
+        return all(gate.is_clifford(tolerance) for gate in self._gates)
+
+    def count_gates(self) -> Dict[str, int]:
+        """Histogram of gate names."""
+        counts: Dict[str, int] = {}
+        for gate in self._gates:
+            counts[gate.name] = counts.get(gate.name, 0) + 1
+        return counts
+
+    def count_non_clifford(self, tolerance: float = 1e-9) -> int:
+        """Number of non-Clifford gates (unbound rotations count as non-Clifford)."""
+        return sum(1 for gate in self._gates if not gate.is_clifford(tolerance))
+
+    def depth(self) -> int:
+        """Circuit depth counting all gates (identity included)."""
+        frontier = [0] * self._num_qubits
+        for gate in self._gates:
+            level = max(frontier[q] for q in gate.qubits) + 1
+            for q in gate.qubits:
+                frontier[q] = level
+        return max(frontier, default=0)
+
+    # ------------------------------------------------------------------ #
+    # parameter binding
+    # ------------------------------------------------------------------ #
+    def bind(
+        self, values: "Mapping[Parameter, float] | Iterable[float]"
+    ) -> "QuantumCircuit":
+        """Return a copy with all symbolic parameters replaced by numbers."""
+        binding = bind_parameters(self.parameters, values)
+        bound = QuantumCircuit(self._num_qubits)
+        for gate in self._gates:
+            if gate.is_parameterized:
+                bound._gates.append(gate.bind(binding[gate.parameter]))
+            else:
+                bound._gates.append(gate)
+        return bound
+
+    # ------------------------------------------------------------------ #
+    # dunder methods
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit({self._num_qubits} qubits, {len(self._gates)} gates, "
+            f"{self.num_parameters} parameters)"
+        )
+
+    def draw(self) -> str:
+        """A minimal text rendering, one line per gate."""
+        lines = [f"QuantumCircuit on {self._num_qubits} qubits:"]
+        for index, gate in enumerate(self._gates):
+            lines.append(f"  {index:4d}: {gate!r}")
+        return "\n".join(lines)

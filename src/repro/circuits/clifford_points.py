@@ -1,0 +1,104 @@
+"""Discretization of ansatz rotation angles onto Clifford points.
+
+Each tunable rotation gate becomes Clifford when its angle is one of
+``{0, pi/2, pi, 3*pi/2}``.  CAFQA's discrete search therefore operates on an
+integer vector with entries in ``{0, 1, 2, 3}``, one per ansatz parameter.
+This module converts between index vectors, angle vectors, and bound
+circuits, and provides helpers to enumerate / sample the discrete space.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.circuits.ansatz import EfficientSU2Ansatz
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import angle_from_clifford_index, clifford_index_from_angle
+from repro.exceptions import CircuitError
+
+CLIFFORD_ANGLES = tuple(angle_from_clifford_index(k) for k in range(4))
+NUM_CLIFFORD_POINTS = 4
+
+
+def indices_to_angles(indices: Sequence[int]) -> List[float]:
+    """Map a vector of Clifford indices {0..3} to rotation angles."""
+    return [angle_from_clifford_index(int(i)) for i in indices]
+
+
+def angles_to_indices(angles: Sequence[float]) -> List[int]:
+    """Map Clifford rotation angles back to indices; raises on non-Clifford angles."""
+    return [clifford_index_from_angle(float(theta)) for theta in angles]
+
+
+def bind_clifford_point(ansatz: EfficientSU2Ansatz, indices: Sequence[int]) -> QuantumCircuit:
+    """Bind an ansatz at the Clifford point given by ``indices``."""
+    indices = list(indices)
+    if len(indices) != ansatz.num_parameters:
+        raise CircuitError(
+            f"expected {ansatz.num_parameters} Clifford indices, got {len(indices)}"
+        )
+    for index in indices:
+        if int(index) not in (0, 1, 2, 3):
+            raise CircuitError(f"Clifford index {index!r} must be in 0..3")
+    return ansatz.bind(indices_to_angles(indices))
+
+
+def search_space_size(num_parameters: int) -> int:
+    """Total number of Clifford points, ``4**num_parameters``."""
+    if num_parameters < 0:
+        raise CircuitError("num_parameters must be non-negative")
+    return NUM_CLIFFORD_POINTS**num_parameters
+
+
+def enumerate_clifford_points(num_parameters: int) -> Iterator[tuple[int, ...]]:
+    """Yield every Clifford index vector (use only for small parameter counts)."""
+    if num_parameters == 0:
+        yield ()
+        return
+    for head in range(NUM_CLIFFORD_POINTS):
+        for tail in enumerate_clifford_points(num_parameters - 1):
+            yield (head, *tail)
+
+
+def random_clifford_points(
+    num_parameters: int, count: int, rng: np.random.Generator
+) -> List[tuple[int, ...]]:
+    """Sample ``count`` random Clifford index vectors (with replacement)."""
+    samples = rng.integers(0, NUM_CLIFFORD_POINTS, size=(count, num_parameters))
+    return [tuple(int(v) for v in row) for row in samples]
+
+
+def hartree_fock_clifford_point(
+    ansatz: EfficientSU2Ansatz, occupations: Iterable[int]
+) -> List[int]:
+    """Clifford index vector reproducing a computational-basis occupation string.
+
+    For an ``EfficientSU2`` ansatz with RY/RZ blocks, setting every angle to
+    zero except the *final* RY layer — which gets ``pi`` on occupied qubits —
+    prepares exactly the Hartree-Fock bitstring, up to a global phase.  (The
+    final rotation layer comes after all entangling layers; with the earlier
+    layers at zero the CX ladder acts on the all-zeros state and does
+    nothing.)  This point is used to warm-start the CAFQA search so the
+    search result can never be worse than Hartree-Fock.
+    """
+    occupations = list(occupations)
+    if len(occupations) != ansatz.num_qubits:
+        raise CircuitError(
+            f"expected {ansatz.num_qubits} occupation bits, got {len(occupations)}"
+        )
+    if "ry" not in ansatz.rotation_blocks:
+        raise CircuitError("Hartree-Fock warm start requires an RY rotation block")
+    indices = [0] * ansatz.num_parameters
+    # Parameters are ordered layer-by-layer, block-by-block, qubit-by-qubit.
+    last_layer_offset = ansatz.reps * len(ansatz.rotation_blocks) * ansatz.num_qubits
+    ry_block_offset = (
+        last_layer_offset + ansatz.rotation_blocks.index("ry") * ansatz.num_qubits
+    )
+    for qubit, occupied in enumerate(occupations):
+        if occupied not in (0, 1):
+            raise CircuitError(f"occupation bits must be 0 or 1, got {occupied!r}")
+        if occupied:
+            indices[ry_block_offset + qubit] = 2  # angle pi flips |0> to |1>
+    return indices

@@ -1,0 +1,164 @@
+"""Gate library: matrices, Clifford metadata, and rotation gates.
+
+The library covers the gates needed by CAFQA's hardware-efficient ansatz
+(RX/RY/RZ rotations, CX entanglers) plus the standard Clifford generators and
+the non-Clifford T gate used by the Clifford+kT extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits.parameters import Parameter
+from repro.exceptions import CircuitError
+
+_SQRT2 = np.sqrt(2.0)
+
+_FIXED_MATRICES = {
+    "id": np.eye(2, dtype=complex),
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "h": np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2,
+    "s": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "sdg": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "sx": np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex) / 2,
+    "sxdg": np.array([[1 - 1j, 1 + 1j], [1 + 1j, 1 - 1j]], dtype=complex) / 2,
+    "t": np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex),
+    "tdg": np.array([[1, 0], [0, np.exp(-1j * np.pi / 4)]], dtype=complex),
+    "cx": np.array(
+        [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+    ),
+    "cz": np.diag([1, 1, 1, -1]).astype(complex),
+    "swap": np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+    ),
+}
+
+# Gate names that are always Clifford, regardless of parameters.
+CLIFFORD_GATES = frozenset(
+    {"id", "x", "y", "z", "h", "s", "sdg", "sx", "sxdg", "cx", "cz", "swap"}
+)
+
+# Parameterized rotation gates; Clifford only when the angle is a multiple of pi/2.
+ROTATION_GATES = frozenset({"rx", "ry", "rz"})
+
+# Non-Clifford fixed gates.
+NON_CLIFFORD_GATES = frozenset({"t", "tdg"})
+
+SUPPORTED_GATES = CLIFFORD_GATES | ROTATION_GATES | NON_CLIFFORD_GATES
+
+_TWO_QUBIT_GATES = frozenset({"cx", "cz", "swap"})
+
+
+def rotation_matrix(name: str, theta: float) -> np.ndarray:
+    """Matrix of an RX/RY/RZ rotation by angle ``theta``."""
+    half = theta / 2.0
+    c, s = np.cos(half), np.sin(half)
+    if name == "rx":
+        return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+    if name == "ry":
+        return np.array([[c, -s], [s, c]], dtype=complex)
+    if name == "rz":
+        return np.array([[np.exp(-1j * half), 0], [0, np.exp(1j * half)]], dtype=complex)
+    raise CircuitError(f"unknown rotation gate {name!r}")
+
+
+def is_clifford_angle(theta: float, tolerance: float = 1e-9) -> bool:
+    """True if ``theta`` is an integer multiple of pi/2 (mod 2*pi)."""
+    multiple = theta / (np.pi / 2.0)
+    return abs(multiple - round(multiple)) < tolerance
+
+
+def clifford_index_from_angle(theta: float, tolerance: float = 1e-9) -> int:
+    """Map a Clifford rotation angle to its index in {0, 1, 2, 3}.
+
+    Index ``k`` corresponds to the angle ``k * pi/2``.  Raises if the angle is
+    not a Clifford angle.
+    """
+    if not is_clifford_angle(theta, tolerance):
+        raise CircuitError(f"angle {theta} is not a multiple of pi/2")
+    return int(round(theta / (np.pi / 2.0))) % 4
+
+
+def angle_from_clifford_index(index: int) -> float:
+    """Rotation angle ``index * pi/2`` for ``index`` in {0, 1, 2, 3}."""
+    return (int(index) % 4) * (np.pi / 2.0)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A gate instance applied to specific qubits.
+
+    ``parameter`` is either None (fixed gate), a float (bound rotation angle),
+    or a :class:`Parameter` (unbound symbolic rotation angle).
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    parameter: "Optional[float | Parameter]" = None
+
+    def __post_init__(self):
+        if self.name not in SUPPORTED_GATES:
+            raise CircuitError(f"unsupported gate {self.name!r}")
+        expected = 2 if self.name in _TWO_QUBIT_GATES else 1
+        if len(self.qubits) != expected:
+            raise CircuitError(
+                f"gate {self.name!r} acts on {expected} qubit(s), got {self.qubits}"
+            )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"gate {self.name!r} has duplicate qubits {self.qubits}")
+        if self.name in ROTATION_GATES:
+            if self.parameter is None:
+                raise CircuitError(f"rotation gate {self.name!r} needs an angle")
+        elif self.parameter is not None:
+            raise CircuitError(f"gate {self.name!r} does not take a parameter")
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def is_parameterized(self) -> bool:
+        """True if the gate carries an unbound symbolic parameter."""
+        return isinstance(self.parameter, Parameter)
+
+    @property
+    def is_rotation(self) -> bool:
+        return self.name in ROTATION_GATES
+
+    def is_clifford(self, tolerance: float = 1e-9) -> bool:
+        """True if the gate (with its bound parameter) is a Clifford operation."""
+        if self.name in CLIFFORD_GATES:
+            return True
+        if self.name in NON_CLIFFORD_GATES:
+            return False
+        if self.is_parameterized:
+            return False
+        return is_clifford_angle(float(self.parameter), tolerance)
+
+    def matrix(self) -> np.ndarray:
+        """Unitary matrix of the gate.  Raises for unbound parameters."""
+        if self.name in _FIXED_MATRICES:
+            return _FIXED_MATRICES[self.name].copy()
+        if self.is_parameterized:
+            raise CircuitError(
+                f"gate {self.name!r} has unbound parameter {self.parameter!r}"
+            )
+        return rotation_matrix(self.name, float(self.parameter))
+
+    def bind(self, value: float) -> "Gate":
+        """Return a copy of this gate with its symbolic parameter bound."""
+        if not self.is_parameterized:
+            raise CircuitError("gate has no unbound parameter to bind")
+        return Gate(self.name, self.qubits, float(value))
+
+    def __repr__(self) -> str:
+        if self.parameter is None:
+            return f"Gate({self.name}, qubits={list(self.qubits)})"
+        if self.is_parameterized:
+            return f"Gate({self.name}({self.parameter.name}), qubits={list(self.qubits)})"
+        return f"Gate({self.name}({float(self.parameter):.4f}), qubits={list(self.qubits)})"

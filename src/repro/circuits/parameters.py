@@ -1,0 +1,89 @@
+"""Symbolic circuit parameters and parameter bindings."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Mapping
+
+from repro.exceptions import CircuitError
+
+_COUNTER = itertools.count()
+
+
+class Parameter:
+    """A named symbolic rotation angle used in parameterized circuits.
+
+    Two parameters are equal only if they are the same object; the name is a
+    human-readable label, uniqueness is guaranteed by an internal counter.
+    """
+
+    __slots__ = ("_name", "_uid")
+
+    def __init__(self, name: str):
+        if not name:
+            raise CircuitError("parameter name must be non-empty")
+        self._name = str(name)
+        self._uid = next(_COUNTER)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __repr__(self) -> str:
+        return f"Parameter({self._name})"
+
+    def __hash__(self) -> int:
+        return hash(self._uid)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class ParameterVector:
+    """An ordered collection of parameters sharing a common name prefix."""
+
+    def __init__(self, prefix: str, length: int):
+        if length < 0:
+            raise CircuitError("ParameterVector length must be non-negative")
+        self._prefix = prefix
+        self._parameters = [Parameter(f"{prefix}[{i}]") for i in range(length)]
+
+    def __getitem__(self, index: int) -> Parameter:
+        return self._parameters[index]
+
+    def __iter__(self):
+        return iter(self._parameters)
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def __repr__(self) -> str:
+        return f"ParameterVector({self._prefix}, length={len(self)})"
+
+
+def bind_parameters(
+    parameters: Iterable[Parameter],
+    values: "Mapping[Parameter, float] | Iterable[float]",
+) -> Dict[Parameter, float]:
+    """Normalize ``values`` into a dict keyed by parameter.
+
+    ``values`` may already be a mapping, or a positional sequence matching the
+    order of ``parameters``.
+    """
+    parameters = list(parameters)
+    if isinstance(values, Mapping):
+        missing = [p for p in parameters if p not in values]
+        if missing:
+            names = ", ".join(p.name for p in missing)
+            raise CircuitError(f"missing values for parameters: {names}")
+        return {p: float(values[p]) for p in parameters}
+    values = list(values)
+    if len(values) != len(parameters):
+        raise CircuitError(
+            f"expected {len(parameters)} parameter values, got {len(values)}"
+        )
+    return {p: float(v) for p, v in zip(parameters, values)}

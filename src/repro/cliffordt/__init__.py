@@ -1,0 +1,6 @@
+"""Clifford + few-T simulation via linear combinations of stabilizer branches."""
+
+from repro.cliffordt.decomposition import CliffordBranch, count_non_clifford_gates, expand_gate
+from repro.cliffordt.simulator import CliffordTSimulator
+
+__all__ = ["CliffordBranch", "expand_gate", "count_non_clifford_gates", "CliffordTSimulator"]

@@ -1,0 +1,60 @@
+"""Decomposition of non-Clifford gates into linear combinations of Clifford gates.
+
+Any single-qubit rotation satisfies ``R_P(theta) = cos(theta/2) I - i sin(theta/2) P``
+— a rank-2 linear combination of Clifford operations — and the T gate is
+``T = e^{i pi/8} (cos(pi/8) I - i sin(pi/8) Z)``.  Expanding every
+non-Clifford gate this way turns a Clifford+kT (or Clifford + k non-Clifford
+rotations) circuit into a sum of ``2^k`` pure Clifford branch circuits, which
+is the structure the low-rank simulator in :mod:`repro.cliffordt.simulator`
+exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.circuits.gates import Gate
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class CliffordBranch:
+    """One branch of a non-Clifford gate expansion: ``coefficient * gates``."""
+
+    coefficient: complex
+    gates: Tuple[Gate, ...]
+
+
+_ROTATION_PAULI = {"rx": "x", "ry": "y", "rz": "z"}
+
+
+def expand_gate(gate: Gate) -> List[CliffordBranch]:
+    """Expand a gate into Clifford branches (a single branch if already Clifford)."""
+    if gate.is_clifford():
+        return [CliffordBranch(1.0 + 0.0j, (gate,))]
+    if gate.name in _ROTATION_PAULI:
+        if gate.is_parameterized:
+            raise SimulationError("bind rotation parameters before expansion")
+        theta = float(gate.parameter)
+        pauli_gate = Gate(_ROTATION_PAULI[gate.name], gate.qubits)
+        return [
+            CliffordBranch(complex(np.cos(theta / 2.0)), ()),
+            CliffordBranch(-1j * np.sin(theta / 2.0), (pauli_gate,)),
+        ]
+    if gate.name in ("t", "tdg"):
+        sign = 1.0 if gate.name == "t" else -1.0
+        phase = np.exp(sign * 1j * np.pi / 8.0)
+        z_gate = Gate("z", gate.qubits)
+        return [
+            CliffordBranch(phase * np.cos(np.pi / 8.0), ()),
+            CliffordBranch(phase * (-1j * sign) * np.sin(np.pi / 8.0), (z_gate,)),
+        ]
+    raise SimulationError(f"cannot expand gate {gate.name!r} into Clifford branches")
+
+
+def count_non_clifford_gates(gates) -> int:
+    """Number of gates needing a branch expansion."""
+    return sum(0 if gate.is_clifford() else 1 for gate in gates)

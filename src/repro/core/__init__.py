@@ -1,0 +1,62 @@
+"""CAFQA core: Clifford-space search, constraints, metrics, VQE, and pipelines."""
+
+from repro.core.constraints import (
+    DEFAULT_PENALTY_WEIGHT,
+    ParticleConstraint,
+    constrained_hamiltonian,
+    quadratic_penalty,
+)
+from repro.core.metrics import (
+    CHEMICAL_ACCURACY,
+    AccuracySummary,
+    correlation_energy_recovered,
+    energy_error,
+    geometric_mean,
+    is_chemically_accurate,
+    relative_accuracy,
+)
+from repro.core.objective import CliffordObjective
+from repro.core.pipeline import (
+    MoleculeEvaluation,
+    curve_as_table,
+    dissociation_curve,
+    evaluate_molecule,
+)
+from repro.core.search import CafqaResult, CafqaSearch, run_cafqa
+from repro.core.tgates import (
+    CliffordTObjective,
+    CliffordTResult,
+    CliffordTSearch,
+    count_t_gates,
+    indices_to_pi4_angles,
+)
+from repro.core.vqe import VQEResult, VQERunner
+
+__all__ = [
+    "ParticleConstraint",
+    "constrained_hamiltonian",
+    "quadratic_penalty",
+    "DEFAULT_PENALTY_WEIGHT",
+    "CHEMICAL_ACCURACY",
+    "AccuracySummary",
+    "energy_error",
+    "is_chemically_accurate",
+    "correlation_energy_recovered",
+    "relative_accuracy",
+    "geometric_mean",
+    "CliffordObjective",
+    "CafqaSearch",
+    "CafqaResult",
+    "run_cafqa",
+    "VQERunner",
+    "VQEResult",
+    "CliffordTSearch",
+    "CliffordTResult",
+    "CliffordTObjective",
+    "count_t_gates",
+    "indices_to_pi4_angles",
+    "MoleculeEvaluation",
+    "evaluate_molecule",
+    "dissociation_curve",
+    "curve_as_table",
+]

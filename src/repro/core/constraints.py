@@ -1,0 +1,67 @@
+"""Electron-count and spin constraints for the CAFQA search objective.
+
+The paper imposes electron and spin preservation "directly to the objective
+function" (Section 3, item 5; Section 7.1.1 for the H2+ cation).  This module
+builds quadratic penalty operators such as ``w * (N_alpha - n_alpha)^2`` as
+Pauli sums, so the constrained objective remains a single Pauli-sum
+expectation that the stabilizer simulator can evaluate exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chemistry.hamiltonian import MolecularProblem
+from repro.operators.pauli_sum import PauliSum
+
+DEFAULT_PENALTY_WEIGHT = 2.0
+
+
+@dataclass(frozen=True)
+class ParticleConstraint:
+    """Target electron numbers per spin sector and the penalty weight."""
+
+    num_alpha: int
+    num_beta: int
+    weight: float = DEFAULT_PENALTY_WEIGHT
+
+    def __post_init__(self):
+        if self.num_alpha < 0 or self.num_beta < 0:
+            raise ValueError("electron counts must be non-negative")
+        if self.weight < 0:
+            raise ValueError("penalty weight must be non-negative")
+
+
+def quadratic_penalty(operator: PauliSum, target: float, weight: float) -> PauliSum:
+    """The operator ``weight * (operator - target)^2`` as a Pauli sum."""
+    shifted = operator - float(target)
+    return (shifted @ shifted) * float(weight)
+
+
+def constrained_hamiltonian(
+    problem: MolecularProblem,
+    constraint: Optional[ParticleConstraint] = None,
+    spin_z_target: Optional[float] = None,
+    spin_weight: float = DEFAULT_PENALTY_WEIGHT,
+) -> PauliSum:
+    """Hamiltonian plus particle-number (and optional S_z) penalty terms.
+
+    With ``constraint=None`` a constraint matching the problem's particle
+    sector is applied; pass a different :class:`ParticleConstraint` to target
+    cations/anions or other spin sectors, mirroring the paper's constrained
+    VQE treatment of H2+ and the H2O/H6 spin studies.
+    """
+    if constraint is None:
+        constraint = ParticleConstraint(problem.num_alpha, problem.num_beta)
+    total = problem.hamiltonian
+    if constraint.weight > 0:
+        total = total + quadratic_penalty(
+            problem.number_operator_alpha, constraint.num_alpha, constraint.weight
+        )
+        total = total + quadratic_penalty(
+            problem.number_operator_beta, constraint.num_beta, constraint.weight
+        )
+    if spin_z_target is not None and spin_weight > 0:
+        total = total + quadratic_penalty(problem.spin_z_operator, spin_z_target, spin_weight)
+    return total.simplify(1e-10)

@@ -1,0 +1,109 @@
+"""Objective functions evaluated during the CAFQA discrete search.
+
+A :class:`CliffordObjective` maps a vector of Clifford indices (one per ansatz
+parameter, each in {0, 1, 2, 3}) to the constrained energy of the resulting
+stabilizer state, evaluated exactly with the stabilizer simulator — the
+"classical discrete search: ideal evaluation" box of the paper's Fig. 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.chemistry.hamiltonian import MolecularProblem
+from repro.circuits.ansatz import EfficientSU2Ansatz
+from repro.circuits.clifford_points import bind_clifford_point
+from repro.core.constraints import ParticleConstraint, constrained_hamiltonian
+from repro.operators.pauli_sum import PauliSum
+from repro.stabilizer.expectation import PauliSumEvaluator
+from repro.stabilizer.simulator import StabilizerSimulator
+
+
+class CliffordObjective:
+    """Constrained stabilizer-state energy as a function of Clifford indices.
+
+    Evaluations are memoized: the Bayesian search frequently revisits
+    neighbouring points, and every evaluation is deterministic (noise-free
+    classical simulation), so caching is free accuracy-wise.
+    """
+
+    def __init__(
+        self,
+        problem: MolecularProblem,
+        ansatz: EfficientSU2Ansatz,
+        constraint: Optional[ParticleConstraint] = None,
+        spin_z_target: Optional[float] = None,
+        penalty_weight: Optional[float] = None,
+        cache: bool = True,
+    ):
+        if ansatz.num_qubits != problem.num_qubits:
+            raise ValueError(
+                f"ansatz acts on {ansatz.num_qubits} qubits but the problem has "
+                f"{problem.num_qubits}"
+            )
+        self._problem = problem
+        self._ansatz = ansatz
+        if constraint is None and penalty_weight is not None:
+            constraint = ParticleConstraint(
+                problem.num_alpha, problem.num_beta, weight=penalty_weight
+            )
+        self._constraint = constraint
+        self._operator = constrained_hamiltonian(
+            problem, constraint=constraint, spin_z_target=spin_z_target
+        )
+        self._simulator = StabilizerSimulator()
+        self._operator_evaluator = PauliSumEvaluator(self._operator)
+        self._energy_evaluator = PauliSumEvaluator(problem.hamiltonian)
+        self._cache: Optional[Dict[Tuple[int, ...], float]] = {} if cache else None
+        self._evaluations = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def problem(self) -> MolecularProblem:
+        return self._problem
+
+    @property
+    def ansatz(self) -> EfficientSU2Ansatz:
+        return self._ansatz
+
+    @property
+    def operator(self) -> PauliSum:
+        """The constrained operator whose expectation is minimized."""
+        return self._operator
+
+    @property
+    def num_parameters(self) -> int:
+        return self._ansatz.num_parameters
+
+    @property
+    def num_evaluations(self) -> int:
+        """Number of distinct stabilizer simulations performed."""
+        return self._evaluations
+
+    # ------------------------------------------------------------------ #
+    def __call__(self, indices: Sequence[int]) -> float:
+        key = tuple(int(v) for v in indices)
+        if self._cache is not None and key in self._cache:
+            return self._cache[key]
+        circuit = bind_clifford_point(self._ansatz, key)
+        tableau = self._simulator.run(circuit)
+        value = self._operator_evaluator.expectation(tableau)
+        self._evaluations += 1
+        if self._cache is not None:
+            self._cache[key] = value
+        return value
+
+    def energy(self, indices: Sequence[int]) -> float:
+        """Unconstrained Hamiltonian energy (no penalty terms) at a Clifford point."""
+        circuit = bind_clifford_point(self._ansatz, indices)
+        tableau = self._simulator.run(circuit)
+        return self._energy_evaluator.expectation(tableau)
+
+    def term_expectations(self, indices: Sequence[int]) -> Dict[str, int]:
+        """Per-Pauli-term expectations at a Clifford point (used by Fig. 6)."""
+        circuit = bind_clifford_point(self._ansatz, indices)
+        return self._simulator.term_expectations(circuit, self._problem.hamiltonian)
+
+    def constraint_violation(self, indices: Sequence[int]) -> float:
+        """Penalty contribution (constrained minus plain energy) at a point."""
+        return self(indices) - self.energy(indices)

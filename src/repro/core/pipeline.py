@@ -1,0 +1,144 @@
+"""End-to-end CAFQA pipeline: chemistry -> Clifford search -> metrics -> (optional) VQE.
+
+This is the orchestration layer the examples and the per-figure experiment
+drivers build on.  ``evaluate_molecule`` runs the full comparison the paper's
+dissociation figures report (HF vs CAFQA vs exact at one bond length);
+``dissociation_curve`` sweeps bond lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.chemistry.hamiltonian import MolecularProblem
+from repro.chemistry.molecules import get_preset, make_problem
+from repro.core.constraints import ParticleConstraint
+from repro.core.metrics import AccuracySummary
+from repro.core.search import CafqaResult, CafqaSearch
+from repro.exceptions import ReproError
+
+
+@dataclass
+class MoleculeEvaluation:
+    """HF / CAFQA / exact comparison for one molecule at one bond length."""
+
+    molecule: str
+    bond_length: float
+    problem: MolecularProblem = field(repr=False)
+    cafqa: CafqaResult = field(repr=False)
+    summary: AccuracySummary
+
+    @property
+    def hf_energy(self) -> float:
+        return self.summary.hf_energy
+
+    @property
+    def cafqa_energy(self) -> float:
+        return self.summary.cafqa_energy
+
+    @property
+    def exact_energy(self) -> Optional[float]:
+        return self.summary.exact_energy
+
+    def __repr__(self) -> str:
+        exact = "n/a" if self.exact_energy is None else f"{self.exact_energy:.6f}"
+        return (
+            f"MoleculeEvaluation({self.molecule!r} @ {self.bond_length} A: "
+            f"HF={self.hf_energy:.6f}, CAFQA={self.cafqa_energy:.6f}, exact={exact})"
+        )
+
+
+def evaluate_molecule(
+    molecule: str,
+    bond_length: Optional[float] = None,
+    max_evaluations: int = 300,
+    seed: Optional[int] = None,
+    compute_exact: bool = True,
+    particle_sector: Optional[tuple[int, int]] = None,
+    constraint: Optional[ParticleConstraint] = None,
+    spin_z_target: Optional[float] = None,
+    problem: Optional[MolecularProblem] = None,
+    **search_options,
+) -> MoleculeEvaluation:
+    """Run the full HF / CAFQA / exact comparison for one molecule configuration."""
+    preset = get_preset(molecule)
+    length = preset.equilibrium_bond_length if bond_length is None else float(bond_length)
+    if problem is None:
+        problem = make_problem(
+            molecule,
+            bond_length=length,
+            compute_exact=compute_exact,
+            particle_sector=particle_sector,
+        )
+    search = CafqaSearch(
+        problem,
+        constraint=constraint,
+        spin_z_target=spin_z_target,
+        seed=seed,
+        **search_options,
+    )
+    cafqa = search.run(max_evaluations=max_evaluations)
+    summary = AccuracySummary(
+        molecule=molecule,
+        bond_length=length,
+        hf_energy=problem.hf_energy,
+        cafqa_energy=cafqa.energy,
+        exact_energy=problem.exact_energy,
+    )
+    return MoleculeEvaluation(
+        molecule=molecule,
+        bond_length=length,
+        problem=problem,
+        cafqa=cafqa,
+        summary=summary,
+    )
+
+
+def dissociation_curve(
+    molecule: str,
+    bond_lengths: Sequence[float],
+    max_evaluations: int = 300,
+    seed: Optional[int] = None,
+    compute_exact: bool = True,
+    **options,
+) -> List[MoleculeEvaluation]:
+    """Sweep bond lengths and evaluate HF / CAFQA / exact at each (a paper "dissociation curve")."""
+    if not bond_lengths:
+        raise ReproError("at least one bond length is required")
+    evaluations = []
+    for index, bond_length in enumerate(bond_lengths):
+        run_seed = None if seed is None else seed + index
+        evaluations.append(
+            evaluate_molecule(
+                molecule,
+                bond_length=float(bond_length),
+                max_evaluations=max_evaluations,
+                seed=run_seed,
+                compute_exact=compute_exact,
+                **options,
+            )
+        )
+    return evaluations
+
+
+def curve_as_table(evaluations: Sequence[MoleculeEvaluation]) -> List[Dict[str, object]]:
+    """Flatten evaluations into printable rows (used by benches and EXPERIMENTS.md)."""
+    rows = []
+    for evaluation in evaluations:
+        summary = evaluation.summary
+        rows.append(
+            {
+                "molecule": summary.molecule,
+                "bond_length_A": summary.bond_length,
+                "hf_energy": summary.hf_energy,
+                "cafqa_energy": summary.cafqa_energy,
+                "exact_energy": summary.exact_energy,
+                "hf_error": summary.hf_error,
+                "cafqa_error": summary.cafqa_error,
+                "correlation_recovered_pct": summary.recovered_correlation,
+                "relative_accuracy": summary.relative_accuracy,
+                "chemically_accurate": summary.chemically_accurate,
+            }
+        )
+    return rows

@@ -1,0 +1,257 @@
+"""The CAFQA search: Bayesian optimization over the Clifford parameter space.
+
+``CafqaSearch`` wires together the pieces the paper describes in Sections 3
+and 5: a hardware-efficient ansatz whose tunable rotations are restricted to
+multiples of pi/2, exact stabilizer-simulator evaluation of the constrained
+objective, and a random-forest / greedy-acquisition Bayesian optimizer with a
+random warm-up phase.  The Hartree–Fock Clifford point is seeded so the
+search result is never worse than the Hartree–Fock baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.bayesopt.acquisition import AcquisitionFunction
+from repro.bayesopt.optimizer import BayesianOptimizationResult, BayesianOptimizer, Observation
+from repro.bayesopt.space import DiscreteSpace
+from repro.chemistry.hamiltonian import MolecularProblem
+from repro.circuits.ansatz import EfficientSU2Ansatz
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.clifford_points import (
+    bind_clifford_point,
+    hartree_fock_clifford_point,
+    indices_to_angles,
+)
+from repro.core.constraints import ParticleConstraint
+from repro.core.objective import CliffordObjective
+from repro.exceptions import OptimizationError
+
+
+@dataclass
+class CafqaResult:
+    """Outcome of a CAFQA search for one molecular problem."""
+
+    problem_name: str
+    best_indices: List[int]
+    best_angles: List[float]
+    energy: float
+    constrained_energy: float
+    hf_energy: float
+    exact_energy: Optional[float]
+    num_iterations: int
+    converged_iteration: int
+    search_result: BayesianOptimizationResult = field(repr=False)
+    ansatz: EfficientSU2Ansatz = field(repr=False)
+
+    @property
+    def circuit(self) -> QuantumCircuit:
+        """The Clifford-initialized ansatz circuit ready for VQE tuning."""
+        return bind_clifford_point(self.ansatz, self.best_indices)
+
+    @property
+    def improvement_over_hf(self) -> float:
+        """Energy lowering relative to the Hartree–Fock baseline (non-negative)."""
+        return self.hf_energy - self.energy
+
+    @property
+    def error(self) -> Optional[float]:
+        if self.exact_energy is None:
+            return None
+        return abs(self.energy - self.exact_energy)
+
+    def __repr__(self) -> str:
+        return (
+            f"CafqaResult({self.problem_name!r}, E={self.energy:.6f} Ha, "
+            f"HF={self.hf_energy:.6f} Ha, iterations={self.num_iterations})"
+        )
+
+
+class CafqaSearch:
+    """Runs the discrete Clifford-space search for a molecular problem.
+
+    The search follows the paper's recipe — random warm-up, random-forest
+    surrogate, greedy acquisition — and adds an optional greedy coordinate-
+    descent refinement of the incumbent (``local_refinement``).  The paper
+    compensates for the purely model-guided search with budgets in the
+    thousands of evaluations (Fig. 15); the refinement stage reaches
+    comparable Clifford points with laptop-scale budgets and is counted in
+    the reported iteration totals.
+    """
+
+    def __init__(
+        self,
+        problem: MolecularProblem,
+        ansatz: Optional[EfficientSU2Ansatz] = None,
+        ansatz_reps: int = 1,
+        constraint: Optional[ParticleConstraint] = None,
+        spin_z_target: Optional[float] = None,
+        penalty_weight: Optional[float] = None,
+        warmup_fraction: float = 0.5,
+        candidate_pool_size: int = 200,
+        acquisition: Optional[AcquisitionFunction] = None,
+        convergence_patience: Optional[int] = None,
+        seed_hartree_fock: bool = True,
+        local_refinement: bool = True,
+        refinement_sweeps: int = 4,
+        refit_interval: int = 5,
+        seed: Optional[int] = None,
+    ):
+        if not 0.0 < warmup_fraction < 1.0:
+            raise OptimizationError("warmup_fraction must be strictly between 0 and 1")
+        self._problem = problem
+        self._ansatz = ansatz if ansatz is not None else EfficientSU2Ansatz(
+            problem.num_qubits, reps=ansatz_reps
+        )
+        self._objective = CliffordObjective(
+            problem,
+            self._ansatz,
+            constraint=constraint,
+            spin_z_target=spin_z_target,
+            penalty_weight=penalty_weight,
+        )
+        self._warmup_fraction = float(warmup_fraction)
+        self._pool_size = int(candidate_pool_size)
+        self._acquisition = acquisition
+        self._patience = convergence_patience
+        self._seed_hf = bool(seed_hartree_fock)
+        self._local_refinement = bool(local_refinement)
+        self._refinement_sweeps = int(refinement_sweeps)
+        self._refit_interval = int(refit_interval)
+        self._seed = seed
+
+    # ------------------------------------------------------------------ #
+    @property
+    def objective(self) -> CliffordObjective:
+        return self._objective
+
+    @property
+    def ansatz(self) -> EfficientSU2Ansatz:
+        return self._ansatz
+
+    def hartree_fock_indices(self) -> List[int]:
+        """Clifford index vector that prepares the Hartree–Fock bitstring."""
+        return hartree_fock_clifford_point(self._ansatz, self._problem.hf_bits)
+
+    # ------------------------------------------------------------------ #
+    def run(self, max_evaluations: int = 500) -> CafqaResult:
+        """Search the Clifford space and return the best initialization found."""
+        if max_evaluations < 2:
+            raise OptimizationError("the search needs at least two evaluations")
+        space = DiscreteSpace.clifford(self._ansatz.num_parameters)
+        seeds: List[Sequence[int]] = []
+        if self._seed_hf:
+            seeds.append(self.hartree_fock_indices())
+        warmup = max(1, int(round(self._warmup_fraction * max_evaluations)))
+        optimizer = BayesianOptimizer(
+            space,
+            warmup_evaluations=warmup,
+            candidate_pool_size=self._pool_size,
+            acquisition=self._acquisition,
+            seed_points=seeds,
+            convergence_patience=self._patience,
+            refit_interval=self._refit_interval,
+            seed=self._seed,
+        )
+        search_result = optimizer.minimize(self._objective, max_evaluations=max_evaluations)
+
+        if self._local_refinement:
+            search_result = self._refine(search_result)
+
+        best_indices = list(search_result.best_point)
+        plain_energy = self._objective.energy(best_indices)
+        return CafqaResult(
+            problem_name=self._problem.name,
+            best_indices=best_indices,
+            best_angles=indices_to_angles(best_indices),
+            energy=float(plain_energy),
+            constrained_energy=float(search_result.best_value),
+            hf_energy=self._problem.hf_energy,
+            exact_energy=self._problem.exact_energy,
+            num_iterations=search_result.num_iterations,
+            converged_iteration=search_result.converged_iteration,
+            search_result=search_result,
+            ansatz=self._ansatz,
+        )
+
+
+    # ------------------------------------------------------------------ #
+    def _refine(self, search_result: BayesianOptimizationResult) -> BayesianOptimizationResult:
+        """Greedy coordinate descent from the incumbent over the Clifford indices."""
+        point, value, observations = coordinate_descent(
+            self._objective,
+            search_result.best_point,
+            cardinality=4,
+            max_sweeps=self._refinement_sweeps,
+            start_iteration=search_result.num_iterations,
+        )
+        all_observations = list(search_result.observations) + observations
+        if value < search_result.best_value - 1e-12:
+            best_point, best_value = point, value
+            converged_iteration = (
+                max((o.iteration for o in observations), default=search_result.converged_iteration)
+            )
+        else:
+            best_point, best_value = search_result.best_point, search_result.best_value
+            converged_iteration = search_result.converged_iteration
+        return BayesianOptimizationResult(
+            best_point=best_point,
+            best_value=best_value,
+            observations=all_observations,
+            num_iterations=len(all_observations),
+            converged_iteration=converged_iteration,
+        )
+
+
+def coordinate_descent(
+    objective,
+    start_point: Sequence[int],
+    cardinality: int,
+    max_sweeps: int = 4,
+    start_iteration: int = 0,
+) -> tuple[tuple, float, List[Observation]]:
+    """Greedy one-parameter-at-a-time descent over a discrete space.
+
+    Sweeps every coordinate, trying each of its ``cardinality`` values while
+    holding the rest fixed, and keeps any improvement.  Stops after a full
+    sweep with no improvement or after ``max_sweeps`` sweeps.  Returns the
+    best point, its value, and the evaluations performed (phase ``"refine"``).
+    """
+    current = tuple(int(v) for v in start_point)
+    current_value = float(objective(current))
+    observations: List[Observation] = []
+    iteration = start_iteration
+    for _ in range(max_sweeps):
+        improved = False
+        for dimension in range(len(current)):
+            for candidate_value in range(cardinality):
+                if candidate_value == current[dimension]:
+                    continue
+                candidate = list(current)
+                candidate[dimension] = candidate_value
+                candidate = tuple(candidate)
+                value = float(objective(candidate))
+                iteration += 1
+                observations.append(
+                    Observation(point=candidate, value=value, iteration=iteration, phase="refine")
+                )
+                if value < current_value - 1e-12:
+                    current, current_value = candidate, value
+                    improved = True
+        if not improved:
+            break
+    return current, current_value, observations
+
+
+def run_cafqa(
+    problem: MolecularProblem,
+    max_evaluations: int = 500,
+    seed: Optional[int] = None,
+    **search_options,
+) -> CafqaResult:
+    """Convenience wrapper: build a :class:`CafqaSearch` with defaults and run it."""
+    search = CafqaSearch(problem, seed=seed, **search_options)
+    return search.run(max_evaluations=max_evaluations)

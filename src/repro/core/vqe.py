@@ -1,0 +1,140 @@
+"""Post-CAFQA variational quantum eigensolver tuning.
+
+After CAFQA picks a Clifford initialization, traditional VQE tuning explores
+the full continuous parameter space on a (possibly noisy) quantum device —
+the blue box of the paper's Fig. 4 and the experiment behind Fig. 14.  Here
+the "device" is either the ideal statevector simulator or the density-matrix
+simulator with a fake-device noise model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.chemistry.hamiltonian import MolecularProblem
+from repro.circuits.ansatz import EfficientSU2Ansatz
+from repro.circuits.clifford_points import hartree_fock_clifford_point, indices_to_angles
+from repro.exceptions import OptimizationError
+from repro.noise.models import NoiseModel
+from repro.operators.pauli_sum import PauliSum
+from repro.optim.base import ContinuousOptimizer, OptimizationTrace
+from repro.optim.spsa import SPSA
+from repro.statevector.density_matrix import DensityMatrixSimulator
+from repro.statevector.simulator import StatevectorSimulator
+
+
+@dataclass
+class VQEResult:
+    """Result of one VQE tuning run."""
+
+    problem_name: str
+    initial_label: str
+    initial_energy: float
+    final_energy: float
+    best_parameters: np.ndarray
+    trace: OptimizationTrace = field(repr=False)
+    noisy: bool = False
+
+    @property
+    def history(self) -> List[float]:
+        return self.trace.history
+
+    def iterations_to_reach(self, threshold: float) -> Optional[int]:
+        return self.trace.iterations_to_reach(threshold)
+
+    def __repr__(self) -> str:
+        return (
+            f"VQEResult({self.problem_name!r}, init={self.initial_label!r}, "
+            f"E0={self.initial_energy:.6f}, E={self.final_energy:.6f}, noisy={self.noisy})"
+        )
+
+
+class VQERunner:
+    """Tunes an ansatz over the continuous parameter space against a Hamiltonian."""
+
+    def __init__(
+        self,
+        problem: MolecularProblem,
+        ansatz: Optional[EfficientSU2Ansatz] = None,
+        ansatz_reps: int = 1,
+        noise_model: Optional[NoiseModel] = None,
+        optimizer: Optional[ContinuousOptimizer] = None,
+        hamiltonian: Optional[PauliSum] = None,
+    ):
+        self._problem = problem
+        self._ansatz = ansatz if ansatz is not None else EfficientSU2Ansatz(
+            problem.num_qubits, reps=ansatz_reps
+        )
+        if self._ansatz.num_qubits != problem.num_qubits:
+            raise OptimizationError("ansatz and problem qubit counts differ")
+        self._hamiltonian = hamiltonian if hamiltonian is not None else problem.hamiltonian
+        self._noise_model = noise_model
+        self._optimizer = optimizer if optimizer is not None else SPSA(seed=0)
+        if noise_model is None:
+            self._backend = StatevectorSimulator()
+        else:
+            self._backend = DensityMatrixSimulator(noise_model)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ansatz(self) -> EfficientSU2Ansatz:
+        return self._ansatz
+
+    def energy(self, parameters: Sequence[float]) -> float:
+        """Expectation of the Hamiltonian at the given ansatz angles."""
+        circuit = self._ansatz.bind(list(parameters))
+        return float(self._backend.expectation(circuit, self._hamiltonian))
+
+    def hartree_fock_parameters(self) -> List[float]:
+        """Continuous angles reproducing the Hartree–Fock initialization."""
+        indices = hartree_fock_clifford_point(self._ansatz, self._problem.hf_bits)
+        return indices_to_angles(indices)
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        initial_parameters: Sequence[float],
+        max_iterations: int = 200,
+        initial_label: str = "custom",
+    ) -> VQEResult:
+        """Tune the ansatz starting from ``initial_parameters``."""
+        initial_parameters = np.asarray(list(initial_parameters), dtype=float)
+        if len(initial_parameters) != self._ansatz.num_parameters:
+            raise OptimizationError(
+                f"expected {self._ansatz.num_parameters} initial angles, "
+                f"got {len(initial_parameters)}"
+            )
+        initial_energy = self.energy(initial_parameters)
+        trace = self._optimizer.minimize(self.energy, initial_parameters, max_iterations)
+        final_energy = min(float(trace.best_value), initial_energy)
+        best_parameters = (
+            trace.best_parameters if trace.best_value <= initial_energy else initial_parameters
+        )
+        return VQEResult(
+            problem_name=self._problem.name,
+            initial_label=initial_label,
+            initial_energy=initial_energy,
+            final_energy=final_energy,
+            best_parameters=np.asarray(best_parameters, dtype=float),
+            trace=trace,
+            noisy=self._noise_model is not None,
+        )
+
+    def run_from_hartree_fock(self, max_iterations: int = 200) -> VQEResult:
+        """Tune starting from the Hartree–Fock initialization (the paper's baseline)."""
+        return self.run(
+            self.hartree_fock_parameters(),
+            max_iterations=max_iterations,
+            initial_label="hartree_fock",
+        )
+
+    def run_from_cafqa(self, cafqa_result, max_iterations: int = 200) -> VQEResult:
+        """Tune starting from a CAFQA search result."""
+        return self.run(
+            list(cafqa_result.best_angles),
+            max_iterations=max_iterations,
+            initial_label="cafqa",
+        )

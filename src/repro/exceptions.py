@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits, gates, or parameter bindings."""
+
+
+class OperatorError(ReproError):
+    """Raised for malformed Pauli operators or invalid operator algebra."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator is asked to do something it cannot."""
+
+
+class ChemistryError(ReproError):
+    """Raised by the quantum chemistry stack (basis sets, SCF, mappings)."""
+
+
+class ConvergenceError(ChemistryError):
+    """Raised when an iterative procedure (e.g. SCF) fails to converge."""
+
+
+class OptimizationError(ReproError):
+    """Raised by classical optimizers and the Bayesian search."""
+
+
+class NoiseModelError(ReproError):
+    """Raised for inconsistent noise model definitions."""

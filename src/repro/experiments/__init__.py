@@ -1,0 +1,67 @@
+"""Per-figure experiment drivers shared by the examples and the benchmark harness."""
+
+from repro.experiments.config import FULL, QUICK, ExperimentScale, get_scale, spread_bond_lengths
+from repro.experiments.dissociation import (
+    DissociationCurveResult,
+    DissociationPoint,
+    run_dissociation_curve,
+    run_fig08_h2,
+    run_fig09_lih,
+    run_fig10_h2o,
+    run_fig11_h6,
+)
+from repro.experiments.fig05_microbenchmark import (
+    MicrobenchmarkResult,
+    microbenchmark_circuit,
+    run_microbenchmark,
+    xx_hamiltonian,
+)
+from repro.experiments.fig06_pauli_breakdown import PauliBreakdownResult, run_pauli_breakdown
+from repro.experiments.fig07_search_trace import SearchTraceResult, run_search_trace
+from repro.experiments.fig12_large_molecule import LargeMoleculeResult, run_large_molecule
+from repro.experiments.fig13_relative_accuracy import (
+    RelativeAccuracyResult,
+    run_relative_accuracy,
+)
+from repro.experiments.fig14_vqe_convergence import VQEConvergenceResult, run_vqe_convergence
+from repro.experiments.fig15_search_iterations import (
+    SearchIterationsResult,
+    run_search_iterations,
+)
+from repro.experiments.fig16_clifford_t import CliffordTCurveResult, run_clifford_t_curve
+from repro.experiments.table1 import Table1Result, run_table1
+
+__all__ = [
+    "ExperimentScale",
+    "QUICK",
+    "FULL",
+    "get_scale",
+    "spread_bond_lengths",
+    "run_table1",
+    "Table1Result",
+    "run_microbenchmark",
+    "MicrobenchmarkResult",
+    "microbenchmark_circuit",
+    "xx_hamiltonian",
+    "run_pauli_breakdown",
+    "PauliBreakdownResult",
+    "run_search_trace",
+    "SearchTraceResult",
+    "run_dissociation_curve",
+    "run_fig08_h2",
+    "run_fig09_lih",
+    "run_fig10_h2o",
+    "run_fig11_h6",
+    "DissociationCurveResult",
+    "DissociationPoint",
+    "run_large_molecule",
+    "LargeMoleculeResult",
+    "run_relative_accuracy",
+    "RelativeAccuracyResult",
+    "run_vqe_convergence",
+    "VQEConvergenceResult",
+    "run_search_iterations",
+    "SearchIterationsResult",
+    "run_clifford_t_curve",
+    "CliffordTCurveResult",
+]

@@ -1,0 +1,82 @@
+"""Experiment scaling knobs.
+
+The paper's searches run for thousands of iterations (up to a week for Cr2 on
+cloud machines).  Every experiment driver in this package takes an
+:class:`ExperimentScale` so the same code can run as a minutes-scale benchmark
+("quick", the default used by ``benchmarks/``) or closer to the paper's
+budgets ("full").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Budgets used by the experiment drivers."""
+
+    name: str
+    search_evaluations_small: int  # molecules with <= 6 qubits
+    search_evaluations_medium: int  # 7-12 qubits
+    search_evaluations_large: int  # > 12 qubits
+    vqe_iterations: int
+    bond_lengths_per_curve: int
+    clifford_t_evaluations: int
+
+    def search_evaluations(self, num_qubits: int) -> int:
+        if num_qubits <= 6:
+            return self.search_evaluations_small
+        if num_qubits <= 12:
+            return self.search_evaluations_medium
+        return self.search_evaluations_large
+
+
+SMOKE = ExperimentScale(
+    name="smoke",
+    search_evaluations_small=80,
+    search_evaluations_medium=100,
+    search_evaluations_large=120,
+    vqe_iterations=30,
+    bond_lengths_per_curve=2,
+    clifford_t_evaluations=100,
+)
+
+QUICK = ExperimentScale(
+    name="quick",
+    search_evaluations_small=120,
+    search_evaluations_medium=180,
+    search_evaluations_large=200,
+    vqe_iterations=50,
+    bond_lengths_per_curve=3,
+    clifford_t_evaluations=150,
+)
+
+FULL = ExperimentScale(
+    name="full",
+    search_evaluations_small=1000,
+    search_evaluations_medium=3000,
+    search_evaluations_large=6000,
+    vqe_iterations=400,
+    bond_lengths_per_curve=10,
+    clifford_t_evaluations=1500,
+)
+
+_SCALES: Dict[str, ExperimentScale] = {"smoke": SMOKE, "quick": QUICK, "full": FULL}
+
+
+def get_scale(name: str = "quick") -> ExperimentScale:
+    """Look up a named experiment scale."""
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise KeyError(f"unknown scale {name!r}; available: {', '.join(sorted(_SCALES))}") from None
+
+
+def spread_bond_lengths(low: float, high: float, count: int) -> Sequence[float]:
+    """Evenly spaced bond lengths across a molecule's range."""
+    if count < 2:
+        return [round((low + high) / 2.0, 3)]
+    step = (high - low) / (count - 1)
+    return [round(low + i * step, 3) for i in range(count)]

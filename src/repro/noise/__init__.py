@@ -1,0 +1,26 @@
+"""Noise channels, noise models, and fake-device presets."""
+
+from repro.noise.channels import (
+    amplitude_damping_kraus,
+    bit_flip_kraus,
+    depolarizing_kraus,
+    is_trace_preserving,
+    phase_damping_kraus,
+    phase_flip_kraus,
+)
+from repro.noise.devices import available_devices, fake_device
+from repro.noise.models import NoiseModel, ReadoutError, ideal_noise_model
+
+__all__ = [
+    "NoiseModel",
+    "ReadoutError",
+    "ideal_noise_model",
+    "fake_device",
+    "available_devices",
+    "depolarizing_kraus",
+    "amplitude_damping_kraus",
+    "phase_damping_kraus",
+    "bit_flip_kraus",
+    "phase_flip_kraus",
+    "is_trace_preserving",
+]

@@ -1,0 +1,79 @@
+"""Kraus representations of the noise channels used by the fake devices."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import NoiseModelError
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+
+
+def depolarizing_kraus(probability: float, num_qubits: int = 1) -> List[np.ndarray]:
+    """Kraus operators of the ``num_qubits``-qubit depolarizing channel.
+
+    With probability ``probability`` the state is replaced by the maximally
+    mixed state; this is implemented via the standard uniform-Pauli Kraus set.
+    """
+    _check_probability(probability)
+    if num_qubits not in (1, 2):
+        raise NoiseModelError("depolarizing channel supports 1 or 2 qubits")
+    paulis_1q = [_I, _X, _Y, _Z]
+    if num_qubits == 1:
+        paulis = paulis_1q
+    else:
+        paulis = [np.kron(a, b) for a in paulis_1q for b in paulis_1q]
+    dim_sq = len(paulis)
+    kraus = []
+    for index, pauli in enumerate(paulis):
+        if index == 0:
+            weight = np.sqrt(1.0 - probability * (dim_sq - 1) / dim_sq)
+        else:
+            weight = np.sqrt(probability / dim_sq)
+        kraus.append(weight * pauli)
+    return kraus
+
+
+def amplitude_damping_kraus(gamma: float) -> List[np.ndarray]:
+    """Single-qubit amplitude damping (T1 relaxation toward |0>)."""
+    _check_probability(gamma)
+    k0 = np.array([[1, 0], [0, np.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, np.sqrt(gamma)], [0, 0]], dtype=complex)
+    return [k0, k1]
+
+
+def phase_damping_kraus(gamma: float) -> List[np.ndarray]:
+    """Single-qubit phase damping (pure dephasing, T2 contribution)."""
+    _check_probability(gamma)
+    k0 = np.array([[1, 0], [0, np.sqrt(1 - gamma)]], dtype=complex)
+    k1 = np.array([[0, 0], [0, np.sqrt(gamma)]], dtype=complex)
+    return [k0, k1]
+
+
+def bit_flip_kraus(probability: float) -> List[np.ndarray]:
+    """Single-qubit bit-flip channel."""
+    _check_probability(probability)
+    return [np.sqrt(1 - probability) * _I, np.sqrt(probability) * _X]
+
+
+def phase_flip_kraus(probability: float) -> List[np.ndarray]:
+    """Single-qubit phase-flip channel."""
+    _check_probability(probability)
+    return [np.sqrt(1 - probability) * _I, np.sqrt(probability) * _Z]
+
+
+def is_trace_preserving(kraus_ops: List[np.ndarray], tolerance: float = 1e-9) -> bool:
+    """Check the completeness relation ``sum_k K_k^dagger K_k == I``."""
+    dim = kraus_ops[0].shape[0]
+    total = sum(k.conj().T @ k for k in kraus_ops)
+    return bool(np.allclose(total, np.eye(dim), atol=tolerance))
+
+
+def _check_probability(value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise NoiseModelError(f"probability {value} must be in [0, 1]")

@@ -1,0 +1,67 @@
+"""Synthetic "fake device" noise presets.
+
+The paper's Fig. 5 and Fig. 14 use noise models of two IBMQ machines
+(Casablanca — a 7-qubit Falcon, and Manhattan — a 65-qubit Hummingbird).
+Those calibration snapshots are not available offline, so these presets use
+error rates in the range of the devices' published averages: roughly
+3-5 x 10^-4 single-qubit error, 1-2 x 10^-2 CX error, and 1-3 x 10^-2
+readout error, with Manhattan noisier than Casablanca.  The reproduction only
+relies on the qualitative ordering (ideal < casablanca-like < manhattan-like),
+which these presets preserve.
+"""
+
+from __future__ import annotations
+
+from repro.noise.models import NoiseModel, ReadoutError
+
+_PRESETS = {
+    "ideal": dict(
+        single_qubit_error=0.0,
+        two_qubit_error=0.0,
+        amplitude_damping=0.0,
+        readout=(0.0, 0.0),
+    ),
+    "casablanca_like": dict(
+        single_qubit_error=4.0e-4,
+        two_qubit_error=1.2e-2,
+        amplitude_damping=2.0e-3,
+        readout=(1.5e-2, 2.0e-2),
+    ),
+    "manhattan_like": dict(
+        single_qubit_error=8.0e-4,
+        two_qubit_error=2.5e-2,
+        amplitude_damping=5.0e-3,
+        readout=(3.0e-2, 4.0e-2),
+    ),
+    "future_improved": dict(
+        single_qubit_error=1.0e-4,
+        two_qubit_error=3.0e-3,
+        amplitude_damping=5.0e-4,
+        readout=(5.0e-3, 5.0e-3),
+    ),
+}
+
+
+def available_devices() -> list[str]:
+    """Names of the built-in fake devices."""
+    return sorted(_PRESETS)
+
+
+def fake_device(name: str) -> NoiseModel:
+    """Build the noise model for one of the built-in fake devices."""
+    try:
+        preset = _PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; available: {', '.join(available_devices())}"
+        ) from None
+    p10, p01 = preset["readout"]
+    model = NoiseModel(
+        name=name,
+        single_qubit_error=preset["single_qubit_error"],
+        two_qubit_error=preset["two_qubit_error"],
+        amplitude_damping=preset["amplitude_damping"],
+        readout=ReadoutError(p10, p01),
+    )
+    model.validate()
+    return model

@@ -1,0 +1,14 @@
+"""Pauli operator algebra: Pauli strings, weighted Pauli sums, commuting groups."""
+
+from repro.operators.commuting import group_commuting_terms, measurement_settings_count
+from repro.operators.pauli import Pauli, random_pauli
+from repro.operators.pauli_sum import PauliSum, PauliTerm
+
+__all__ = [
+    "Pauli",
+    "PauliSum",
+    "PauliTerm",
+    "random_pauli",
+    "group_commuting_terms",
+    "measurement_settings_count",
+]

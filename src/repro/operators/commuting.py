@@ -1,0 +1,59 @@
+"""Grouping of Pauli terms into commuting families.
+
+CAFQA evaluates every Pauli term of the Hamiltonian with a single stabilizer
+"shot" (the expectation is exactly +1, -1 or 0), but real-device VQE groups
+qubit-wise commuting terms so they can share measurement settings.  The
+grouping below uses greedy graph colouring of the non-commutation graph and
+is shared by the measurement-cost analysis in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.operators.pauli import Pauli
+from repro.operators.pauli_sum import PauliSum, PauliTerm
+
+
+def group_commuting_terms(
+    hamiltonian: PauliSum,
+    qubitwise: bool = True,
+) -> List[List[PauliTerm]]:
+    """Partition the terms of ``hamiltonian`` into mutually commuting groups.
+
+    Parameters
+    ----------
+    hamiltonian:
+        The operator to partition.
+    qubitwise:
+        If True (default) use qubit-wise commutation, which is what real
+        measurement circuits require; otherwise use general commutation.
+
+    Returns
+    -------
+    list of lists of :class:`PauliTerm`, greedily packed so that every pair
+    within a group commutes under the chosen relation.
+    """
+    terms = list(hamiltonian.terms())
+    if qubitwise:
+        compatible: Callable[[Pauli, Pauli], bool] = Pauli.qubitwise_commutes_with
+    else:
+        compatible = Pauli.commutes_with
+
+    groups: List[List[PauliTerm]] = []
+    # Sort by descending coefficient magnitude so heavy terms seed groups.
+    for term in sorted(terms, key=lambda t: -abs(t.coefficient)):
+        placed = False
+        for group in groups:
+            if all(compatible(term.pauli, member.pauli) for member in group):
+                group.append(term)
+                placed = True
+                break
+        if not placed:
+            groups.append([term])
+    return groups
+
+
+def measurement_settings_count(hamiltonian: PauliSum, qubitwise: bool = True) -> int:
+    """Number of measurement settings needed to estimate ``hamiltonian``."""
+    return len(group_commuting_terms(hamiltonian, qubitwise=qubitwise))

@@ -1,0 +1,246 @@
+"""Single Pauli strings in the symplectic (x, z) representation.
+
+A Pauli string on ``n`` qubits is stored as two boolean vectors ``x`` and
+``z`` plus an integer phase exponent.  Qubit ``i`` carries
+
+* ``I`` if ``x[i] == 0 and z[i] == 0``
+* ``X`` if ``x[i] == 1 and z[i] == 0``
+* ``Z`` if ``x[i] == 0 and z[i] == 1``
+* ``Y`` if ``x[i] == 1 and z[i] == 1``
+
+and the overall operator is ``(-i)**phase * P_{n-1} ⊗ ... ⊗ P_0``.  The label
+convention follows Qiskit: the *leftmost* character of a label string refers
+to the *highest-index* qubit, e.g. ``Pauli("XI")`` applies ``X`` to qubit 1
+and identity to qubit 0.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import OperatorError
+
+_LABEL_TO_XZ = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
+_XZ_TO_LABEL = {(0, 0): "I", (1, 0): "X", (1, 1): "Y", (0, 1): "Z"}
+
+# Phase convention: the stored operator is (-i)**phase * X^x Z^z on each qubit,
+# which makes Y = -i * X Z carry phase exponent 1 per Y factor.
+_PHASE_VALUES = (1, -1j, -1, 1j)
+
+
+class Pauli:
+    """An n-qubit Pauli string with an overall phase of ``(-i)**phase``.
+
+    Parameters
+    ----------
+    data:
+        Either a label string such as ``"IXYZ"`` (optionally prefixed with
+        ``+``, ``-``, ``i``, ``-i``) or another :class:`Pauli` to copy.
+    """
+
+    __slots__ = ("_x", "_z", "_phase")
+
+    def __init__(self, data: "str | Pauli"):
+        if isinstance(data, Pauli):
+            self._x = data._x.copy()
+            self._z = data._z.copy()
+            self._phase = data._phase
+            return
+        if not isinstance(data, str):
+            raise OperatorError(f"cannot build a Pauli from {type(data).__name__}")
+        label, phase = _split_phase(data)
+        if not label:
+            raise OperatorError("Pauli label must contain at least one qubit")
+        num_qubits = len(label)
+        x = np.zeros(num_qubits, dtype=bool)
+        z = np.zeros(num_qubits, dtype=bool)
+        for position, char in enumerate(label):
+            if char not in _LABEL_TO_XZ:
+                raise OperatorError(f"invalid Pauli character {char!r} in {data!r}")
+            xi, zi = _LABEL_TO_XZ[char]
+            qubit = num_qubits - 1 - position
+            x[qubit] = bool(xi)
+            z[qubit] = bool(zi)
+        self._x = x
+        self._z = z
+        # A literal Y equals i*XZ, so each Y in the label subtracts one power
+        # of (-i) from the stored exponent to keep the represented operator
+        # equal to the label (times any explicit prefix).
+        self._phase = (phase - int(np.sum(x & z))) % 4
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_xz(cls, x: Iterable[bool], z: Iterable[bool], phase: int = 0) -> "Pauli":
+        """Build a Pauli directly from symplectic vectors.
+
+        ``phase`` is the exponent of ``(-i)`` applied to ``X^x Z^z``; note
+        that a bare ``x=z=1`` qubit with ``phase=0`` is ``XZ = iY``, not
+        ``Y``.  Use :meth:`from_label_vectors` when thinking in labels.
+        """
+        pauli = cls.__new__(cls)
+        pauli._x = np.asarray(list(x), dtype=bool)
+        pauli._z = np.asarray(list(z), dtype=bool)
+        if pauli._x.shape != pauli._z.shape or pauli._x.ndim != 1:
+            raise OperatorError("x and z vectors must be 1-D and equal length")
+        pauli._phase = int(phase) % 4
+        return pauli
+
+    @classmethod
+    def identity(cls, num_qubits: int) -> "Pauli":
+        """The identity Pauli on ``num_qubits`` qubits."""
+        return cls("I" * num_qubits)
+
+    @classmethod
+    def single(cls, num_qubits: int, qubit: int, kind: str) -> "Pauli":
+        """A single-qubit Pauli ``kind`` on ``qubit``, identity elsewhere."""
+        if kind not in ("I", "X", "Y", "Z"):
+            raise OperatorError(f"invalid Pauli kind {kind!r}")
+        if not 0 <= qubit < num_qubits:
+            raise OperatorError(f"qubit {qubit} out of range for {num_qubits} qubits")
+        chars = ["I"] * num_qubits
+        chars[num_qubits - 1 - qubit] = kind
+        return cls("".join(chars))
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        return len(self._x)
+
+    @property
+    def x(self) -> np.ndarray:
+        """Boolean X component per qubit (read-only view)."""
+        return self._x
+
+    @property
+    def z(self) -> np.ndarray:
+        """Boolean Z component per qubit (read-only view)."""
+        return self._z
+
+    @property
+    def phase_exponent(self) -> int:
+        """Exponent ``k`` of the stored phase ``(-i)**k``."""
+        return self._phase
+
+    @property
+    def phase(self) -> complex:
+        """Phase of the operator relative to its plain label (e.g. -i for X@Z)."""
+        residual = (self._phase + int(np.sum(self._x & self._z))) % 4
+        return _PHASE_VALUES[residual]
+
+    @property
+    def label(self) -> str:
+        """The label string without the phase prefix (Y shown as Y)."""
+        chars = []
+        for qubit in range(self.num_qubits - 1, -1, -1):
+            chars.append(_XZ_TO_LABEL[(int(self._x[qubit]), int(self._z[qubit]))])
+        return "".join(chars)
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity single-qubit factors."""
+        return int(np.sum(self._x | self._z))
+
+    def is_identity(self) -> bool:
+        """True if every qubit carries the identity (phase is ignored)."""
+        return not bool(np.any(self._x | self._z))
+
+    def is_diagonal(self) -> bool:
+        """True if the string contains only I and Z factors."""
+        return not bool(np.any(self._x))
+
+    def qubit_label(self, qubit: int) -> str:
+        """The single-qubit Pauli acting on ``qubit`` ('I', 'X', 'Y' or 'Z')."""
+        return _XZ_TO_LABEL[(int(self._x[qubit]), int(self._z[qubit]))]
+
+    # ------------------------------------------------------------------ #
+    # algebra
+    # ------------------------------------------------------------------ #
+    def compose(self, other: "Pauli") -> "Pauli":
+        """Return ``self @ other`` (operator product, self applied after other)."""
+        if other.num_qubits != self.num_qubits:
+            raise OperatorError("cannot compose Paulis on different qubit counts")
+        # (-i)^a X^x1 Z^z1 * (-i)^b X^x2 Z^z2:
+        # moving Z^z1 past X^x2 contributes (-1)^(z1.x2) = (-i)^(2*z1.x2)
+        phase = (self._phase + other._phase + 2 * int(np.sum(self._z & other._x))) % 4
+        return Pauli.from_xz(self._x ^ other._x, self._z ^ other._z, phase)
+
+    def commutes_with(self, other: "Pauli") -> bool:
+        """True if the two Pauli strings commute."""
+        if other.num_qubits != self.num_qubits:
+            raise OperatorError("cannot compare Paulis on different qubit counts")
+        anti = int(np.sum(self._x & other._z)) + int(np.sum(self._z & other._x))
+        return anti % 2 == 0
+
+    def qubitwise_commutes_with(self, other: "Pauli") -> bool:
+        """True if the strings commute qubit-by-qubit (stronger than commuting)."""
+        if other.num_qubits != self.num_qubits:
+            raise OperatorError("cannot compare Paulis on different qubit counts")
+        for qubit in range(self.num_qubits):
+            a = (int(self._x[qubit]), int(self._z[qubit]))
+            b = (int(other._x[qubit]), int(other._z[qubit]))
+            if a != (0, 0) and b != (0, 0) and a != b:
+                return False
+        return True
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense ``2^n x 2^n`` complex matrix of this Pauli (including phase)."""
+        single = {
+            "I": np.eye(2, dtype=complex),
+            "X": np.array([[0, 1], [1, 0]], dtype=complex),
+            "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+            "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+        }
+        matrix = np.array([[1.0 + 0j]])
+        for char in self.label:
+            matrix = np.kron(matrix, single[char])
+        # label already absorbs the Y bookkeeping, so only the residual phase
+        # relative to the label representation remains.
+        residual = (self._phase + int(np.sum(self._x & self._z))) % 4
+        return _PHASE_VALUES[residual] * matrix
+
+    # ------------------------------------------------------------------ #
+    # dunder methods
+    # ------------------------------------------------------------------ #
+    def __matmul__(self, other: "Pauli") -> "Pauli":
+        return self.compose(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pauli):
+            return NotImplemented
+        return (
+            self._phase == other._phase
+            and np.array_equal(self._x, other._x)
+            and np.array_equal(self._z, other._z)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._phase, self._x.tobytes(), self._z.tobytes()))
+
+    def __repr__(self) -> str:
+        residual = (self._phase + int(np.sum(self._x & self._z))) % 4
+        prefix = {0: "", 1: "-i", 2: "-", 3: "i"}[residual]
+        return f"Pauli('{prefix}{self.label}')"
+
+    def __len__(self) -> int:
+        return self.num_qubits
+
+
+def _split_phase(data: str) -> tuple[str, int]:
+    """Split an optional phase prefix off a Pauli label string."""
+    text = data.strip()
+    for prefix, phase in (("-i", 1), ("+i", 3), ("i", 3), ("-", 2), ("+", 0)):
+        if text.startswith(prefix):
+            return text[len(prefix):], phase
+    return text, 0
+
+
+def random_pauli(num_qubits: int, rng: np.random.Generator) -> Pauli:
+    """A uniformly random (phase-free) Pauli string on ``num_qubits`` qubits."""
+    chars = rng.choice(list("IXYZ"), size=num_qubits)
+    return Pauli("".join(chars))

@@ -1,0 +1,55 @@
+"""Common interfaces for the continuous classical optimizers used by VQE."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+Objective = Callable[[np.ndarray], float]
+
+
+@dataclass
+class OptimizationTrace:
+    """Result of a continuous minimization, with per-iteration history."""
+
+    best_parameters: np.ndarray
+    best_value: float
+    history: List[float] = field(default_factory=list)
+    num_evaluations: int = 0
+    converged: bool = False
+
+    @property
+    def best_so_far(self) -> List[float]:
+        trace = []
+        best = np.inf
+        for value in self.history:
+            best = min(best, value)
+            trace.append(best)
+        return trace
+
+    def iterations_to_reach(self, threshold: float) -> Optional[int]:
+        """First iteration (1-based) whose running best is <= threshold."""
+        for index, value in enumerate(self.best_so_far, start=1):
+            if value <= threshold:
+                return index
+        return None
+
+
+class ContinuousOptimizer(ABC):
+    """Minimizes a scalar function of a real parameter vector."""
+
+    @abstractmethod
+    def minimize(
+        self,
+        objective: Objective,
+        initial_parameters: Sequence[float],
+        max_iterations: int,
+    ) -> OptimizationTrace:
+        """Run the optimizer and return its trace."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__

@@ -1,0 +1,48 @@
+"""Nelder–Mead simplex optimizer (scipy-backed) for noise-free VQE tuning."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy.optimize import minimize as scipy_minimize
+
+from repro.optim.base import ContinuousOptimizer, Objective, OptimizationTrace
+
+
+class NelderMead(ContinuousOptimizer):
+    """Derivative-free simplex minimization, suitable for ideal (noise-free) objectives."""
+
+    def __init__(self, tolerance: float = 1e-8):
+        self._tolerance = float(tolerance)
+
+    def minimize(
+        self,
+        objective: Objective,
+        initial_parameters: Sequence[float],
+        max_iterations: int,
+    ) -> OptimizationTrace:
+        history = []
+
+        def tracked(parameters: np.ndarray) -> float:
+            value = float(objective(parameters))
+            history.append(value)
+            return value
+
+        result = scipy_minimize(
+            tracked,
+            np.asarray(initial_parameters, dtype=float),
+            method="Nelder-Mead",
+            options={
+                "maxfev": max_iterations,
+                "xatol": self._tolerance,
+                "fatol": self._tolerance,
+            },
+        )
+        return OptimizationTrace(
+            best_parameters=np.asarray(result.x, dtype=float),
+            best_value=float(result.fun),
+            history=history,
+            num_evaluations=len(history),
+            converged=bool(result.success),
+        )

@@ -1,0 +1,6 @@
+"""Polynomial-time Clifford circuit simulation (Aaronson–Gottesman tableau)."""
+
+from repro.stabilizer.simulator import StabilizerSimulator, expectation_from_tableau
+from repro.stabilizer.tableau import CliffordTableau
+
+__all__ = ["CliffordTableau", "StabilizerSimulator", "expectation_from_tableau"]

@@ -1,0 +1,277 @@
+"""Aaronson–Gottesman stabilizer tableau.
+
+The tableau tracks ``2n`` rows of Pauli operators: rows ``0..n-1`` are the
+destabilizers and rows ``n..2n-1`` are the stabilizer generators of the
+current state.  Each row stores symplectic bit vectors ``x``, ``z`` and a
+sign bit ``r`` so that the represented Pauli is ``(-1)^r * prod_j P_j`` with
+``P_j`` being I/X/Y/Z according to ``(x_j, z_j)``.
+
+Gate updates follow the CHP rules (Aaronson & Gottesman, PRA 70, 052328) for
+the generators H, S, CX; every other Clifford gate (including rotation gates
+at multiples of pi/2) is decomposed into those generators, which is exact up
+to an irrelevant global phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.gates import Gate, clifford_index_from_angle
+from repro.exceptions import SimulationError
+from repro.operators.pauli import Pauli
+
+
+class CliffordTableau:
+    """Stabilizer tableau for an ``n``-qubit state, initialized to ``|0...0>``."""
+
+    def __init__(self, num_qubits: int):
+        if num_qubits < 1:
+            raise SimulationError("tableau needs at least one qubit")
+        self._n = int(num_qubits)
+        n = self._n
+        self._x = np.zeros((2 * n, n), dtype=bool)
+        self._z = np.zeros((2 * n, n), dtype=bool)
+        self._r = np.zeros(2 * n, dtype=bool)
+        # Destabilizers start as X_i, stabilizers as Z_i.
+        for i in range(n):
+            self._x[i, i] = True
+            self._z[n + i, i] = True
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_qubits(self) -> int:
+        return self._n
+
+    def stabilizer_row(self, index: int) -> tuple[np.ndarray, np.ndarray, bool]:
+        """(x, z, sign bit) of stabilizer generator ``index``."""
+        n = self._n
+        return self._x[n + index].copy(), self._z[n + index].copy(), bool(self._r[n + index])
+
+    def stabilizer_labels(self) -> list[str]:
+        """Human-readable stabilizer generators, e.g. ``['+ZI', '-IZ']``."""
+        labels = []
+        for i in range(self._n):
+            x, z, sign = self.stabilizer_row(i)
+            pauli = Pauli.from_xz(x, z, 0)
+            prefix = "-" if sign else "+"
+            labels.append(prefix + pauli.label)
+        return labels
+
+    def copy(self) -> "CliffordTableau":
+        duplicate = CliffordTableau(self._n)
+        duplicate._x = self._x.copy()
+        duplicate._z = self._z.copy()
+        duplicate._r = self._r.copy()
+        return duplicate
+
+    # ------------------------------------------------------------------ #
+    # primitive gate updates (vectorized over all rows)
+    # ------------------------------------------------------------------ #
+    def apply_h(self, qubit: int) -> None:
+        """Hadamard: X <-> Z, sign flips when the row carries Y on the qubit."""
+        self._check_qubit(qubit)
+        x, z = self._x[:, qubit].copy(), self._z[:, qubit].copy()
+        self._r ^= x & z
+        self._x[:, qubit], self._z[:, qubit] = z, x
+
+    def apply_s(self, qubit: int) -> None:
+        """Phase gate: X -> Y, sign flips when the row carries Y on the qubit."""
+        self._check_qubit(qubit)
+        x, z = self._x[:, qubit], self._z[:, qubit]
+        self._r ^= x & z
+        self._z[:, qubit] = z ^ x
+
+    def apply_cx(self, control: int, target: int) -> None:
+        """CNOT from ``control`` to ``target``."""
+        self._check_qubit(control)
+        self._check_qubit(target)
+        if control == target:
+            raise SimulationError("CX control and target must differ")
+        xc, zc = self._x[:, control], self._z[:, control]
+        xt, zt = self._x[:, target], self._z[:, target]
+        self._r ^= xc & zt & (xt ^ zc ^ True)
+        self._x[:, target] = xt ^ xc
+        self._z[:, control] = zc ^ zt
+
+    def apply_x(self, qubit: int) -> None:
+        """Pauli X: flips the sign of rows carrying Z or Y on the qubit."""
+        self._check_qubit(qubit)
+        self._r ^= self._z[:, qubit]
+
+    def apply_z(self, qubit: int) -> None:
+        """Pauli Z: flips the sign of rows carrying X or Y on the qubit."""
+        self._check_qubit(qubit)
+        self._r ^= self._x[:, qubit]
+
+    def apply_y(self, qubit: int) -> None:
+        """Pauli Y: flips the sign of rows carrying X or Z (not Y) on the qubit."""
+        self._check_qubit(qubit)
+        self._r ^= self._x[:, qubit] ^ self._z[:, qubit]
+
+    def apply_sdg(self, qubit: int) -> None:
+        self.apply_z(qubit)
+        self.apply_s(qubit)
+
+    def apply_sx(self, qubit: int) -> None:
+        """sqrt(X) = H S H up to global phase."""
+        self.apply_h(qubit)
+        self.apply_s(qubit)
+        self.apply_h(qubit)
+
+    def apply_sxdg(self, qubit: int) -> None:
+        self.apply_h(qubit)
+        self.apply_sdg(qubit)
+        self.apply_h(qubit)
+
+    def apply_cz(self, control: int, target: int) -> None:
+        self.apply_h(target)
+        self.apply_cx(control, target)
+        self.apply_h(target)
+
+    def apply_swap(self, qubit_a: int, qubit_b: int) -> None:
+        self.apply_cx(qubit_a, qubit_b)
+        self.apply_cx(qubit_b, qubit_a)
+        self.apply_cx(qubit_a, qubit_b)
+
+    # ------------------------------------------------------------------ #
+    # generic gate dispatch
+    # ------------------------------------------------------------------ #
+    def apply_gate(self, gate: Gate) -> None:
+        """Apply any Clifford gate; raises for non-Clifford gates."""
+        name = gate.name
+        if name == "id":
+            return
+        if name in ("t", "tdg"):
+            raise SimulationError("T gates are not Clifford; use repro.cliffordt")
+        if name in ("rx", "ry", "rz"):
+            self._apply_clifford_rotation(name, float(gate.parameter), gate.qubits[0])
+            return
+        handlers = {
+            "x": self.apply_x,
+            "y": self.apply_y,
+            "z": self.apply_z,
+            "h": self.apply_h,
+            "s": self.apply_s,
+            "sdg": self.apply_sdg,
+            "sx": self.apply_sx,
+            "sxdg": self.apply_sxdg,
+        }
+        if name in handlers:
+            handlers[name](gate.qubits[0])
+            return
+        if name == "cx":
+            self.apply_cx(*gate.qubits)
+            return
+        if name == "cz":
+            self.apply_cz(*gate.qubits)
+            return
+        if name == "swap":
+            self.apply_swap(*gate.qubits)
+            return
+        raise SimulationError(f"gate {name!r} is not supported by the stabilizer backend")
+
+    def _apply_clifford_rotation(self, name: str, theta: float, qubit: int) -> None:
+        """Rotation gates at multiples of pi/2, decomposed into Clifford generators."""
+        try:
+            index = clifford_index_from_angle(theta)
+        except Exception as error:
+            raise SimulationError(
+                f"{name}({theta}) is not a Clifford rotation; CAFQA only searches "
+                "multiples of pi/2"
+            ) from error
+        if index == 0:
+            return
+        if name == "rz":
+            sequence = {1: [self.apply_s], 2: [self.apply_z], 3: [self.apply_sdg]}[index]
+        elif name == "rx":
+            sequence = {1: [self.apply_sx], 2: [self.apply_x], 3: [self.apply_sxdg]}[index]
+        else:  # ry
+            if index == 1:
+                # RY(pi/2) = X . H up to global phase (apply H first, then X).
+                sequence = [self.apply_h, self.apply_x]
+            elif index == 2:
+                sequence = [self.apply_y]
+            else:
+                # RY(3pi/2) = H . X up to global phase (apply X first, then H).
+                sequence = [self.apply_x, self.apply_h]
+        for operation in sequence:
+            operation(qubit)
+
+    # ------------------------------------------------------------------ #
+    # expectation values
+    # ------------------------------------------------------------------ #
+    def expectation(self, pauli: Pauli) -> int:
+        """Exact expectation of a (phase-free) Pauli string: always -1, 0, or +1."""
+        if pauli.num_qubits != self._n:
+            raise SimulationError("Pauli and tableau act on different qubit counts")
+        if pauli.is_identity():
+            return 1
+        n = self._n
+        px = pauli.x
+        pz = pauli.z
+        # Anticommutation with each stabilizer row (vectorized).
+        stab_x = self._x[n:]
+        stab_z = self._z[n:]
+        anti = (np.sum(stab_x & pz[None, :], axis=1) + np.sum(stab_z & px[None, :], axis=1)) % 2
+        if np.any(anti):
+            return 0
+        # P commutes with the full stabilizer group, so +/-P is a stabilizer.
+        # Its decomposition over the generators is read off the destabilizers:
+        # generator i participates iff P anticommutes with destabilizer i.
+        destab_x = self._x[:n]
+        destab_z = self._z[:n]
+        participates = (
+            np.sum(destab_x & pz[None, :], axis=1) + np.sum(destab_z & px[None, :], axis=1)
+        ) % 2
+        acc_x = np.zeros(n, dtype=bool)
+        acc_z = np.zeros(n, dtype=bool)
+        phase = 0  # accumulated phase exponent of i, mod 4
+        for i in np.nonzero(participates)[0]:
+            row = n + int(i)
+            phase += 2 * int(self._r[row])
+            phase += _product_phase(acc_x, acc_z, self._x[row], self._z[row])
+            acc_x ^= self._x[row]
+            acc_z ^= self._z[row]
+            phase %= 4
+        if not (np.array_equal(acc_x, px) and np.array_equal(acc_z, pz)):
+            raise SimulationError("internal error: stabilizer decomposition mismatch")
+        if phase == 0:
+            return 1
+        if phase == 2:
+            return -1
+        raise SimulationError("internal error: non-Hermitian stabilizer product")
+
+    def _check_qubit(self, qubit: int) -> None:
+        if not 0 <= qubit < self._n:
+            raise SimulationError(f"qubit {qubit} out of range for {self._n} qubits")
+
+    def __repr__(self) -> str:
+        return f"CliffordTableau({self._n} qubits)"
+
+
+def _product_phase(x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray) -> int:
+    """Phase exponent (power of i, mod 4) from multiplying row1 by row2.
+
+    This is the sum over qubits of Aaronson–Gottesman's ``g`` function, which
+    gives the power of ``i`` produced when the single-qubit Paulis of row1 and
+    row2 are multiplied in that order.
+    """
+    x1i = x1.astype(np.int8)
+    z1i = z1.astype(np.int8)
+    x2i = x2.astype(np.int8)
+    z2i = z2.astype(np.int8)
+    # g per qubit:
+    #   row1 = I: 0
+    #   row1 = Y: z2 - x2
+    #   row1 = X: z2 * (2*x2 - 1)
+    #   row1 = Z: x2 * (1 - 2*z2)
+    g = np.zeros(len(x1), dtype=np.int64)
+    is_y = (x1i == 1) & (z1i == 1)
+    is_x = (x1i == 1) & (z1i == 0)
+    is_z = (x1i == 0) & (z1i == 1)
+    g[is_y] = (z2i - x2i)[is_y]
+    g[is_x] = (z2i * (2 * x2i - 1))[is_x]
+    g[is_z] = (x2i * (1 - 2 * z2i))[is_z]
+    return int(np.sum(g)) % 4

@@ -1,0 +1,11 @@
+"""Dense statevector and density-matrix simulators (exact and noisy backends)."""
+
+from repro.statevector.density_matrix import DensityMatrix, DensityMatrixSimulator
+from repro.statevector.simulator import Statevector, StatevectorSimulator
+
+__all__ = [
+    "Statevector",
+    "StatevectorSimulator",
+    "DensityMatrix",
+    "DensityMatrixSimulator",
+]

@@ -1,0 +1,35 @@
+"""Shared fixtures: small molecular problems reused across the test suite.
+
+Building a molecular problem runs the integral engine and SCF, which is the
+slowest part of the test suite, so the problems are session-scoped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chemistry import make_problem
+
+
+@pytest.fixture(scope="session")
+def h2_problem():
+    """H2 at equilibrium (2 qubits, parity mapping, two-qubit reduction)."""
+    return make_problem("H2", 0.74)
+
+
+@pytest.fixture(scope="session")
+def h2_stretched_problem():
+    """H2 at a stretched geometry where HF is poor and CAFQA shines."""
+    return make_problem("H2", 2.5)
+
+
+@pytest.fixture(scope="session")
+def lih_problem():
+    """LiH at equilibrium (4 qubits, frozen core, sigma active space)."""
+    return make_problem("LiH", 1.6)
+
+
+@pytest.fixture(scope="session")
+def h4_problem():
+    """H4 chain (6 qubits) — a mid-size problem for search/pipeline tests."""
+    return make_problem("H4", 1.2)

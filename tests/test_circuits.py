@@ -1,0 +1,194 @@
+"""Tests for the circuit IR, gate library, ansatz, and Clifford-point helpers."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    EfficientSU2Ansatz,
+    Gate,
+    Parameter,
+    ParameterVector,
+    QuantumCircuit,
+    angle_from_clifford_index,
+    angles_to_indices,
+    bind_clifford_point,
+    clifford_index_from_angle,
+    entangling_pairs,
+    hartree_fock_circuit,
+    hartree_fock_clifford_point,
+    indices_to_angles,
+    is_clifford_angle,
+    search_space_size,
+)
+from repro.exceptions import CircuitError
+from repro.statevector import StatevectorSimulator
+
+
+class TestGates:
+    def test_unknown_gate(self):
+        with pytest.raises(CircuitError):
+            Gate("foo", (0,))
+
+    def test_wrong_arity(self):
+        with pytest.raises(CircuitError):
+            Gate("cx", (0,))
+
+    def test_duplicate_qubits(self):
+        with pytest.raises(CircuitError):
+            Gate("cx", (1, 1))
+
+    def test_rotation_needs_angle(self):
+        with pytest.raises(CircuitError):
+            Gate("rx", (0,))
+
+    def test_fixed_gate_rejects_parameter(self):
+        with pytest.raises(CircuitError):
+            Gate("h", (0,), 0.3)
+
+    def test_rotation_matrices_are_unitary(self):
+        for name in ("rx", "ry", "rz"):
+            matrix = Gate(name, (0,), 0.7).matrix()
+            np.testing.assert_allclose(matrix @ matrix.conj().T, np.eye(2), atol=1e-12)
+
+    def test_clifford_classification(self):
+        assert Gate("h", (0,)).is_clifford()
+        assert Gate("t", (0,)).is_clifford() is False
+        assert Gate("rz", (0,), np.pi / 2).is_clifford()
+        assert Gate("rz", (0,), np.pi / 3).is_clifford() is False
+
+    def test_unbound_parameter_matrix_raises(self):
+        gate = Gate("ry", (0,), Parameter("theta"))
+        with pytest.raises(CircuitError):
+            gate.matrix()
+
+    def test_bind(self):
+        gate = Gate("ry", (0,), Parameter("theta"))
+        bound = gate.bind(np.pi)
+        assert not bound.is_parameterized
+        assert bound.is_clifford()
+
+    def test_clifford_angle_helpers(self):
+        assert is_clifford_angle(3 * np.pi / 2)
+        assert not is_clifford_angle(0.3)
+        assert clifford_index_from_angle(np.pi) == 2
+        assert angle_from_clifford_index(3) == pytest.approx(3 * np.pi / 2)
+        with pytest.raises(CircuitError):
+            clifford_index_from_angle(0.4)
+
+
+class TestQuantumCircuit:
+    def test_append_validates_qubits(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.x(5)
+
+    def test_depth_and_counts(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).cx(1, 2).rz(0.3, 2)
+        assert circuit.num_gates == 4
+        assert circuit.depth() == 4
+        assert circuit.count_gates()["cx"] == 2
+
+    def test_parameters_in_order(self):
+        theta, phi = Parameter("theta"), Parameter("phi")
+        circuit = QuantumCircuit(1)
+        circuit.ry(theta, 0).rz(phi, 0).ry(theta, 0)
+        assert circuit.parameters == [theta, phi]
+        assert circuit.num_parameters == 2
+
+    def test_bind_positional_and_mapping(self):
+        theta = Parameter("theta")
+        circuit = QuantumCircuit(1).ry(theta, 0)
+        assert not circuit.bind([0.5]).is_parameterized()
+        assert not circuit.bind({theta: 0.5}).is_parameterized()
+
+    def test_bind_wrong_length(self):
+        circuit = QuantumCircuit(1).ry(Parameter("a"), 0)
+        with pytest.raises(CircuitError):
+            circuit.bind([0.1, 0.2])
+
+    def test_compose(self):
+        first = QuantumCircuit(2).h(0)
+        second = QuantumCircuit(2).cx(0, 1)
+        combined = first.compose(second)
+        assert [gate.name for gate in combined] == ["h", "cx"]
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2).compose(QuantumCircuit(3))
+
+    def test_is_clifford(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).rz(np.pi, 1)
+        assert circuit.is_clifford()
+        circuit.t(0)
+        assert not circuit.is_clifford()
+        assert circuit.count_non_clifford() == 1
+
+
+class TestAnsatz:
+    def test_parameter_count(self):
+        ansatz = EfficientSU2Ansatz(4, reps=1)
+        assert ansatz.num_parameters == (1 + 1) * 2 * 4
+
+    def test_parameter_count_reps2(self):
+        ansatz = EfficientSU2Ansatz(3, reps=2, rotation_blocks=("ry",))
+        assert ansatz.num_parameters == 3 * 3
+
+    def test_entangling_pairs(self):
+        assert entangling_pairs(4, "linear") == [(0, 1), (1, 2), (2, 3)]
+        assert entangling_pairs(3, "circular") == [(0, 1), (1, 2), (2, 0)]
+        assert len(entangling_pairs(4, "full")) == 6
+        with pytest.raises(CircuitError):
+            entangling_pairs(4, "star")
+
+    def test_fixed_gates_are_clifford(self):
+        ansatz = EfficientSU2Ansatz(4, reps=2)
+        non_rotation = [g for g in ansatz.circuit if not g.is_rotation]
+        assert all(gate.is_clifford() for gate in non_rotation)
+
+    def test_bound_at_clifford_point_is_clifford(self):
+        ansatz = EfficientSU2Ansatz(3, reps=1)
+        circuit = bind_clifford_point(ansatz, [1] * ansatz.num_parameters)
+        assert circuit.is_clifford()
+
+    def test_invalid_rotation_block(self):
+        with pytest.raises(CircuitError):
+            EfficientSU2Ansatz(2, rotation_blocks=("h",))
+
+
+class TestCliffordPoints:
+    def test_round_trip(self):
+        indices = [0, 1, 2, 3]
+        assert angles_to_indices(indices_to_angles(indices)) == indices
+
+    def test_search_space_size(self):
+        assert search_space_size(3) == 64
+
+    def test_bind_rejects_bad_index(self):
+        ansatz = EfficientSU2Ansatz(2, reps=0)
+        with pytest.raises(CircuitError):
+            bind_clifford_point(ansatz, [5] * ansatz.num_parameters)
+
+    def test_bind_rejects_wrong_length(self):
+        ansatz = EfficientSU2Ansatz(2, reps=0)
+        with pytest.raises(CircuitError):
+            bind_clifford_point(ansatz, [0])
+
+    @pytest.mark.parametrize("occupations", [[0, 0, 0], [1, 0, 1], [1, 1, 1]])
+    def test_hartree_fock_point_prepares_bitstring(self, occupations):
+        ansatz = EfficientSU2Ansatz(3, reps=1)
+        indices = hartree_fock_clifford_point(ansatz, occupations)
+        state = StatevectorSimulator().run(bind_clifford_point(ansatz, indices))
+        expected_index = sum(bit << qubit for qubit, bit in enumerate(occupations))
+        probabilities = state.probabilities()
+        assert probabilities[expected_index] == pytest.approx(1.0)
+
+    def test_hartree_fock_circuit(self):
+        circuit = hartree_fock_circuit(3, [0, 2])
+        state = StatevectorSimulator().run(circuit)
+        assert state.probabilities()[0b101] == pytest.approx(1.0)
+
+    def test_parameter_vector(self):
+        vector = ParameterVector("theta", 3)
+        assert len(vector) == 3
+        assert vector[1].name == "theta[1]"

@@ -1,0 +1,102 @@
+"""Tests for the Clifford+T low-rank simulator and gate decompositions."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Gate, QuantumCircuit
+from repro.cliffordt import CliffordTSimulator, count_non_clifford_gates, expand_gate
+from repro.exceptions import SimulationError
+from repro.operators import PauliSum
+from repro.statevector import StatevectorSimulator
+
+
+class TestDecomposition:
+    def test_clifford_gate_single_branch(self):
+        branches = expand_gate(Gate("h", (0,)))
+        assert len(branches) == 1
+        assert branches[0].coefficient == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", ["t", "tdg"])
+    def test_t_gate_two_branches_reconstruct_matrix(self, name):
+        branches = expand_gate(Gate(name, (0,)))
+        assert len(branches) == 2
+        identity = np.eye(2, dtype=complex)
+        z_matrix = np.diag([1.0, -1.0]).astype(complex)
+        reconstructed = np.zeros((2, 2), dtype=complex)
+        for branch in branches:
+            term = identity.copy()
+            for gate in branch.gates:
+                term = gate.matrix() @ term
+            reconstructed += branch.coefficient * term
+        np.testing.assert_allclose(reconstructed, Gate(name, (0,)).matrix(), atol=1e-12)
+
+    @pytest.mark.parametrize("name,theta", [("rx", 0.4), ("ry", 1.1), ("rz", 2.3)])
+    def test_rotation_branches_reconstruct_matrix(self, name, theta):
+        branches = expand_gate(Gate(name, (0,), theta))
+        reconstructed = np.zeros((2, 2), dtype=complex)
+        for branch in branches:
+            term = np.eye(2, dtype=complex)
+            for gate in branch.gates:
+                term = gate.matrix() @ term
+            reconstructed += branch.coefficient * term
+        np.testing.assert_allclose(reconstructed, Gate(name, (0,), theta).matrix(), atol=1e-12)
+
+    def test_count_non_clifford(self):
+        circuit = QuantumCircuit(2).h(0).t(0).cx(0, 1).rz(np.pi / 4, 1).rz(np.pi, 0)
+        assert count_non_clifford_gates(circuit.gates) == 2
+
+
+class TestCliffordTSimulator:
+    def test_matches_statevector_on_clifford_t_circuits(self):
+        rng = np.random.default_rng(0)
+        simulator = CliffordTSimulator()
+        reference = StatevectorSimulator()
+        for _ in range(8):
+            circuit = QuantumCircuit(3)
+            for _ in range(12):
+                choice = rng.integers(0, 4)
+                qubit = int(rng.integers(0, 3))
+                if choice == 0:
+                    circuit.h(qubit)
+                elif choice == 1:
+                    other = (qubit + 1) % 3
+                    circuit.cx(qubit, other)
+                elif choice == 2:
+                    circuit.t(qubit)
+                else:
+                    circuit.rz(float(rng.integers(0, 4)) * np.pi / 2, qubit)
+            hamiltonian = PauliSum({"XXI": 0.5, "ZZZ": 1.0, "IYX": -0.3, "ZII": 0.7})
+            expected = reference.expectation(circuit, hamiltonian)
+            assert simulator.expectation(circuit, hamiltonian) == pytest.approx(expected, abs=1e-9)
+
+    def test_branch_count(self):
+        circuit = QuantumCircuit(2).t(0).t(1).h(0)
+        assert CliffordTSimulator().num_branches(circuit) == 4
+
+    def test_pi4_rotation_matches_statevector(self):
+        circuit = QuantumCircuit(2).ry(np.pi / 4, 0).cx(0, 1).rz(3 * np.pi / 4, 1)
+        hamiltonian = PauliSum({"XX": 1.0, "ZZ": 0.5})
+        expected = StatevectorSimulator().expectation(circuit, hamiltonian)
+        assert CliffordTSimulator().expectation(circuit, hamiltonian) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+    def test_rejects_too_many_t_gates(self):
+        circuit = QuantumCircuit(1)
+        for _ in range(5):
+            circuit.t(0)
+        simulator = CliffordTSimulator(max_non_clifford=3)
+        with pytest.raises(SimulationError):
+            simulator.expectation(circuit, PauliSum({"Z": 1.0}))
+
+    def test_rejects_too_many_qubits(self):
+        circuit = QuantumCircuit(17).t(0)
+        simulator = CliffordTSimulator(max_qubits=16)
+        with pytest.raises(SimulationError):
+            simulator.expectation(circuit, PauliSum({"I" * 17: 1.0}))
+
+    def test_pure_clifford_circuit_single_branch(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        simulator = CliffordTSimulator()
+        assert simulator.num_branches(circuit) == 1
+        assert simulator.expectation(circuit, PauliSum({"XX": 1.0})) == pytest.approx(1.0)

@@ -1,0 +1,137 @@
+"""Tests for the per-figure experiment drivers (fast configurations only)."""
+
+import pytest
+
+from repro.experiments import (
+    QUICK,
+    ExperimentScale,
+    get_scale,
+    microbenchmark_circuit,
+    run_microbenchmark,
+    run_pauli_breakdown,
+    run_search_trace,
+    spread_bond_lengths,
+    xx_hamiltonian,
+)
+from repro.experiments.config import FULL
+from repro.experiments.dissociation import run_dissociation_curve
+from repro.experiments.fig14_vqe_convergence import run_vqe_convergence
+from repro.experiments.fig16_clifford_t import run_clifford_t_curve
+from repro.experiments.table1 import run_table1
+
+
+class TestConfig:
+    def test_get_scale(self):
+        assert get_scale("quick") is QUICK
+        assert get_scale("full") is FULL
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_budget_grows_with_problem_size(self):
+        assert QUICK.search_evaluations(2) <= QUICK.search_evaluations(12)
+        assert QUICK.search_evaluations(12) <= QUICK.search_evaluations(18)
+
+    def test_spread_bond_lengths(self):
+        lengths = spread_bond_lengths(1.0, 3.0, 5)
+        assert lengths[0] == pytest.approx(1.0)
+        assert lengths[-1] == pytest.approx(3.0)
+        assert len(lengths) == 5
+        assert spread_bond_lengths(1.0, 3.0, 1) == [2.0]
+
+
+class TestMicrobenchmark:
+    def test_series_shapes_and_minima(self):
+        result = run_microbenchmark(num_points=17)
+        assert len(result.ideal) == 17
+        # The ideal sweep reaches the global minimum -1.
+        assert result.ideal_minimum == pytest.approx(-1.0, abs=1e-9)
+        # CAFQA's best Clifford point also reaches it (the paper's key claim).
+        assert result.cafqa_minimum == pytest.approx(-1.0, abs=1e-9)
+        # The noisy machines cannot reach the ideal minimum.
+        for device in result.noisy:
+            assert result.noisy_minimum(device) > -1.0
+        # Hartree-Fock recovers nothing for the XX Hamiltonian.
+        assert result.hartree_fock == pytest.approx(0.0)
+
+    def test_noise_ordering(self):
+        result = run_microbenchmark(num_points=9)
+        assert result.noisy_minimum("manhattan_like") > result.noisy_minimum("casablanca_like")
+
+    def test_circuit_sweep_covers_full_range(self):
+        import numpy as np
+
+        from repro.statevector import StatevectorSimulator
+
+        values = [
+            StatevectorSimulator().expectation(microbenchmark_circuit(theta), xx_hamiltonian())
+            for theta in np.linspace(0, 2 * np.pi, 30)
+        ]
+        assert min(values) == pytest.approx(-1.0, abs=1e-2)
+        assert max(values) == pytest.approx(1.0, abs=1e-2)
+
+
+class TestPauliBreakdown:
+    def test_h2_breakdown_structure(self):
+        result = run_pauli_breakdown("H2", bond_length=2.0, max_evaluations=60, seed=0)
+        # Every method's expectations are bounded by 1 in magnitude.
+        for row in result.rows:
+            assert abs(row.hartree_fock) <= 1.0 + 1e-9
+            assert abs(row.cafqa) <= 1.0 + 1e-9
+            assert abs(row.exact) <= 1.0 + 1e-9
+            # HF and CAFQA give stabilizer-valued (+-1/0) expectations.
+            assert round(abs(row.hartree_fock)) in (0, 1)
+            assert round(abs(row.cafqa)) in (0, 1)
+        # HF never has support on non-diagonal terms.
+        assert result.hf_nondiagonal_support == 0
+        # CAFQA captures at least one non-diagonal term at this stretched geometry.
+        assert result.num_nondiagonal_selected >= 1
+        # And its energy is below HF as a result.
+        assert result.cafqa_energy < result.hf_energy
+
+
+class TestSearchTrace:
+    def test_trace_is_monotone_and_improves_after_warmup(self):
+        result = run_search_trace("H2", bond_length=2.2, max_evaluations=80, seed=0)
+        errors = result.errors
+        assert all(later <= earlier + 1e-12 for earlier, later in zip(errors, errors[1:]))
+        assert result.final_error <= result.hf_error + 1e-12
+        assert result.warmup_evaluations > 0
+
+
+class TestDissociation:
+    def test_h2_curve_qualitative_shape(self):
+        result = run_dissociation_curve("H2", scale=QUICK, bond_lengths=[0.74, 2.0, 2.9], seed=0)
+        assert result.cafqa_never_worse_than_hf()
+        # CAFQA error at the largest bond length beats HF error substantially.
+        assert result.cafqa_errors[-1] < result.hf_errors[-1]
+        # Correlation recovered grows toward dissociation.
+        assert result.max_correlation_recovered() > 80.0
+
+
+class TestVQEConvergenceAndCliffordT:
+    def test_vqe_convergence_speedup(self):
+        result = run_vqe_convergence(
+            "H2", bond_length=2.0, search_evaluations=80, vqe_iterations=30, seed=0
+        )
+        ideal = result.comparisons["ideal"]
+        # CAFQA starts at (or below) the HF initial energy.
+        assert ideal.cafqa.initial_energy <= ideal.hartree_fock.initial_energy + 1e-9
+        noisy = result.comparisons["noisy"]
+        assert noisy.cafqa.initial_energy <= noisy.hartree_fock.initial_energy + 1e-9
+
+    def test_clifford_t_never_hurts(self):
+        result = run_clifford_t_curve(
+            "H2", max_t_gates=1, bond_lengths=[1.5], seed=0, scale=QUICK
+        )
+        assert result.t_gates_never_hurt()
+        assert result.points[0].num_t_gates_used <= 1
+
+
+class TestTable1:
+    def test_small_subset(self):
+        result = run_table1(molecules=["H2", "H4"])
+        assert len(result.rows) == 2
+        by_name = {row.molecule: row for row in result.rows}
+        assert by_name["H2"].num_qubits == 2
+        assert by_name["H4"].num_qubits == 6
+        assert by_name["H2"].exact_energy is not None

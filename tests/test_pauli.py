@@ -1,0 +1,134 @@
+"""Tests for the Pauli string algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import OperatorError
+from repro.operators import Pauli, random_pauli
+
+PAULI_CHARS = "IXYZ"
+
+
+def pauli_label(num_qubits=4):
+    return st.text(alphabet=PAULI_CHARS, min_size=1, max_size=num_qubits)
+
+
+class TestConstruction:
+    def test_label_round_trip(self):
+        assert Pauli("IXYZ").label == "IXYZ"
+
+    def test_identity(self):
+        pauli = Pauli.identity(3)
+        assert pauli.label == "III"
+        assert pauli.is_identity()
+
+    def test_single(self):
+        pauli = Pauli.single(4, qubit=1, kind="Y")
+        assert pauli.label == "IIYI"
+
+    def test_single_invalid_kind(self):
+        with pytest.raises(OperatorError):
+            Pauli.single(2, 0, "Q")
+
+    def test_invalid_character(self):
+        with pytest.raises(OperatorError):
+            Pauli("IXQ")
+
+    def test_empty_label(self):
+        with pytest.raises(OperatorError):
+            Pauli("")
+
+    def test_phase_prefix_minus(self):
+        assert Pauli("-X").phase == pytest.approx(-1)
+
+    def test_phase_prefix_i(self):
+        assert Pauli("iZ").phase == pytest.approx(1j)
+
+    def test_from_non_string(self):
+        with pytest.raises(OperatorError):
+            Pauli(42)
+
+    def test_copy_constructor(self):
+        original = Pauli("XY")
+        copy = Pauli(original)
+        assert copy == original and copy is not original
+
+    def test_label_order_convention(self):
+        # Leftmost label character acts on the highest-index qubit.
+        pauli = Pauli("XI")
+        assert pauli.qubit_label(1) == "X"
+        assert pauli.qubit_label(0) == "I"
+
+
+class TestProperties:
+    def test_weight(self):
+        assert Pauli("IXYZ").weight == 3
+
+    def test_is_diagonal(self):
+        assert Pauli("IZZI").is_diagonal()
+        assert not Pauli("IXZI").is_diagonal()
+
+    def test_num_qubits(self):
+        assert Pauli("XYZ").num_qubits == 3
+        assert len(Pauli("XYZ")) == 3
+
+    def test_hash_and_equality(self):
+        assert Pauli("XY") == Pauli("XY")
+        assert hash(Pauli("XY")) == hash(Pauli("XY"))
+        assert Pauli("XY") != Pauli("YX")
+
+
+class TestAlgebra:
+    def test_compose_xz_gives_y(self):
+        product = Pauli("X") @ Pauli("Z")
+        # XZ = -iY
+        assert product.label == "Y"
+        assert product.phase * 1j == pytest.approx(1.0)
+
+    def test_compose_matches_matrices(self):
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            a = random_pauli(3, rng)
+            b = random_pauli(3, rng)
+            product = a @ b
+            expected = a.to_matrix() @ b.to_matrix()
+            np.testing.assert_allclose(product.to_matrix(), expected, atol=1e-12)
+
+    def test_compose_mismatched_sizes(self):
+        with pytest.raises(OperatorError):
+            Pauli("X") @ Pauli("XX")
+
+    def test_commutes_with(self):
+        assert Pauli("XX").commutes_with(Pauli("ZZ"))
+        assert not Pauli("XI").commutes_with(Pauli("ZI"))
+
+    def test_qubitwise_commutation_is_stronger(self):
+        a, b = Pauli("XX"), Pauli("ZZ")
+        assert a.commutes_with(b)
+        assert not a.qubitwise_commutes_with(b)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_commutation_matches_matrices(self, data):
+        label_a = data.draw(pauli_label(3).filter(lambda s: len(s) == 3))
+        label_b = data.draw(pauli_label(3).filter(lambda s: len(s) == 3))
+        a, b = Pauli(label_a), Pauli(label_b)
+        commutator = a.to_matrix() @ b.to_matrix() - b.to_matrix() @ a.to_matrix()
+        assert a.commutes_with(b) == np.allclose(commutator, 0.0, atol=1e-12)
+
+    @given(pauli_label(4))
+    @settings(max_examples=40, deadline=None)
+    def test_pauli_is_involutory(self, label):
+        pauli = Pauli(label)
+        square = pauli @ pauli
+        assert square.is_identity()
+        np.testing.assert_allclose(square.to_matrix(), np.eye(2 ** len(label)), atol=1e-12)
+
+    def test_matrix_is_hermitian_and_unitary(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            matrix = random_pauli(3, rng).to_matrix()
+            np.testing.assert_allclose(matrix, matrix.conj().T, atol=1e-12)
+            np.testing.assert_allclose(matrix @ matrix.conj().T, np.eye(8), atol=1e-12)

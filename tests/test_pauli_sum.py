@@ -1,0 +1,103 @@
+"""Tests for PauliSum (weighted Pauli sums / Hamiltonians)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OperatorError
+from repro.operators import PauliSum, group_commuting_terms, measurement_settings_count
+
+
+class TestConstruction:
+    def test_merges_duplicate_labels(self):
+        total = PauliSum([("XX", 1.0), ("XX", 2.0)])
+        assert total.num_terms == 1
+        assert total.coefficient("XX") == pytest.approx(3.0)
+
+    def test_drops_tiny_coefficients(self):
+        total = PauliSum({"XX": 1.0, "ZZ": 1e-15})
+        assert total.labels == ["XX"]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(OperatorError):
+            PauliSum({"X": 1.0, "XX": 2.0})
+
+    def test_invalid_label(self):
+        with pytest.raises(OperatorError):
+            PauliSum({"XQ": 1.0})
+
+    def test_zero_and_identity(self):
+        assert PauliSum.zero(3).num_terms == 0
+        identity = PauliSum.identity(3, 2.5)
+        assert identity.coefficient("III") == pytest.approx(2.5)
+
+    def test_needs_size_information(self):
+        with pytest.raises(OperatorError):
+            PauliSum({})
+
+
+class TestAlgebra:
+    def test_addition_and_scalar(self):
+        a = PauliSum({"XX": 1.0})
+        b = PauliSum({"XX": 0.5, "ZZ": 2.0})
+        total = a + b
+        assert total.coefficient("XX") == pytest.approx(1.5)
+        assert (2 * a).coefficient("XX") == pytest.approx(2.0)
+
+    def test_scalar_addition_adds_identity(self):
+        shifted = PauliSum({"Z": 1.0}) + 3.0
+        assert shifted.coefficient("I") == pytest.approx(3.0)
+
+    def test_subtraction(self):
+        result = PauliSum({"XX": 1.0}) - PauliSum({"XX": 1.0})
+        assert result.num_terms == 0
+
+    def test_matmul_matches_matrices(self):
+        a = PauliSum({"XI": 0.5, "ZZ": 1.0})
+        b = PauliSum({"XX": 2.0, "IY": -0.5})
+        product = a @ b
+        np.testing.assert_allclose(product.to_matrix(), a.to_matrix() @ b.to_matrix(), atol=1e-12)
+
+    def test_square_of_hermitian_is_hermitian(self):
+        a = PauliSum({"XY": 0.3, "ZI": -0.7, "YZ": 1.1})
+        square = a @ a
+        assert square.is_hermitian()
+
+    def test_mismatched_addition(self):
+        with pytest.raises(OperatorError):
+            PauliSum({"X": 1.0}) + PauliSum({"XX": 1.0})
+
+    def test_diagonal_offdiagonal_split(self):
+        total = PauliSum({"ZZ": 1.0, "XZ": 2.0, "II": 3.0})
+        assert set(total.diagonal_part().labels) == {"ZZ", "II"}
+        assert total.offdiagonal_part().labels == ["XZ"]
+        recombined = total.diagonal_part() + total.offdiagonal_part()
+        assert recombined == total
+
+    def test_to_sparse_matches_dense(self):
+        total = PauliSum({"XY": 0.5, "ZZ": -1.0, "II": 0.25})
+        np.testing.assert_allclose(
+            total.to_sparse_matrix().toarray(), total.to_matrix(), atol=1e-12
+        )
+
+    def test_equality(self):
+        assert PauliSum({"XX": 1.0, "ZZ": 0.5}) == PauliSum({"ZZ": 0.5, "XX": 1.0})
+        assert PauliSum({"XX": 1.0}) != PauliSum({"XX": 1.1})
+
+
+class TestCommutingGroups:
+    def test_groups_cover_all_terms(self):
+        hamiltonian = PauliSum({"XX": 1.0, "YY": 0.5, "ZZ": 0.2, "ZI": 0.1, "IX": 0.4})
+        groups = group_commuting_terms(hamiltonian)
+        labels = sorted(term.label for group in groups for term in group)
+        assert labels == sorted(hamiltonian.labels)
+
+    def test_groups_internally_commute(self):
+        hamiltonian = PauliSum({"XX": 1.0, "YY": 0.5, "ZZ": 0.2, "XY": 0.3, "YX": 0.3})
+        for group in group_commuting_terms(hamiltonian, qubitwise=True):
+            for i, a in enumerate(group):
+                for b in group[i + 1 :]:
+                    assert a.pauli.qubitwise_commutes_with(b.pauli)
+
+    def test_fewer_settings_than_terms(self, h2_problem):
+        hamiltonian = h2_problem.hamiltonian
+        assert measurement_settings_count(hamiltonian) <= hamiltonian.num_terms

@@ -1,0 +1,186 @@
+"""Tests for the statevector and density-matrix simulators and noise models."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import QuantumCircuit
+from repro.exceptions import NoiseModelError, SimulationError
+from repro.noise import (
+    NoiseModel,
+    ReadoutError,
+    amplitude_damping_kraus,
+    available_devices,
+    bit_flip_kraus,
+    depolarizing_kraus,
+    fake_device,
+    ideal_noise_model,
+    is_trace_preserving,
+    phase_damping_kraus,
+    phase_flip_kraus,
+)
+from repro.operators import Pauli, PauliSum
+from repro.statevector import (
+    DensityMatrix,
+    DensityMatrixSimulator,
+    Statevector,
+    StatevectorSimulator,
+)
+
+
+class TestStatevector:
+    def test_zero_state(self):
+        state = Statevector.zero_state(2)
+        assert state.probabilities()[0] == pytest.approx(1.0)
+
+    def test_from_bitstring(self):
+        state = Statevector.from_bitstring([1, 0, 1])
+        assert state.probabilities()[0b101] == pytest.approx(1.0)
+
+    def test_invalid_length(self):
+        with pytest.raises(SimulationError):
+            Statevector(np.ones(3))
+
+    def test_bell_state(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        state = StatevectorSimulator().run(circuit)
+        probabilities = state.probabilities()
+        assert probabilities[0b00] == pytest.approx(0.5)
+        assert probabilities[0b11] == pytest.approx(0.5)
+        assert state.expectation(Pauli("XX")) == pytest.approx(1.0)
+
+    def test_rotation_expectation(self):
+        theta = 0.8
+        circuit = QuantumCircuit(1).ry(theta, 0)
+        state = StatevectorSimulator().run(circuit)
+        assert np.real(state.expectation(Pauli("Z"))) == pytest.approx(np.cos(theta))
+        assert np.real(state.expectation(Pauli("X"))) == pytest.approx(np.sin(theta))
+
+    def test_two_qubit_gate_orientation(self):
+        # CX with control qubit 0: |10> (qubit0=1) should become |11>.
+        circuit = QuantumCircuit(2).x(0).cx(0, 1)
+        state = StatevectorSimulator().run(circuit)
+        assert state.probabilities()[0b11] == pytest.approx(1.0)
+
+    def test_pauli_sum_expectation(self):
+        circuit = QuantumCircuit(2).h(0)
+        hamiltonian = PauliSum({"IX": 2.0, "ZI": 3.0, "II": 1.0})
+        value = StatevectorSimulator().expectation(circuit, hamiltonian)
+        assert value == pytest.approx(2.0 + 3.0 + 1.0)
+
+    def test_inner_and_fidelity(self):
+        a = Statevector.from_bitstring([0])
+        b = Statevector.from_bitstring([1])
+        assert a.fidelity(a) == pytest.approx(1.0)
+        assert a.fidelity(b) == pytest.approx(0.0)
+
+    def test_sample_counts(self):
+        circuit = QuantumCircuit(1).h(0)
+        state = StatevectorSimulator().run(circuit)
+        counts = state.sample_counts(500, np.random.default_rng(0))
+        assert sum(counts.values()) == 500
+        assert set(counts) <= {"0", "1"}
+
+    def test_unbound_parameters_rejected(self):
+        from repro.circuits import Parameter
+
+        circuit = QuantumCircuit(1).rx(Parameter("a"), 0)
+        with pytest.raises(SimulationError):
+            StatevectorSimulator().run(circuit)
+
+    def test_gate_unitarity_preserves_norm(self):
+        rng = np.random.default_rng(5)
+        circuit = QuantumCircuit(3)
+        for _ in range(20):
+            gate = str(rng.choice(["h", "s", "t", "sx"]))
+            circuit._append_named(gate, (int(rng.integers(0, 3)),))
+        state = StatevectorSimulator().run(circuit)
+        assert state.norm() == pytest.approx(1.0)
+
+
+class TestNoiseChannels:
+    @pytest.mark.parametrize(
+        "kraus",
+        [
+            depolarizing_kraus(0.1, 1),
+            depolarizing_kraus(0.05, 2),
+            amplitude_damping_kraus(0.2),
+            phase_damping_kraus(0.3),
+            bit_flip_kraus(0.25),
+            phase_flip_kraus(0.25),
+        ],
+    )
+    def test_channels_are_trace_preserving(self, kraus):
+        assert is_trace_preserving(kraus)
+
+    def test_invalid_probability(self):
+        with pytest.raises(NoiseModelError):
+            depolarizing_kraus(1.5)
+
+    def test_readout_error_bounds(self):
+        with pytest.raises(NoiseModelError):
+            ReadoutError(0.9, 0.0)
+
+    def test_fake_devices_validate(self):
+        for name in available_devices():
+            model = fake_device(name)
+            model.validate()
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            fake_device("nonexistent")
+
+
+class TestDensityMatrix:
+    def test_pure_state_round_trip(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        state = StatevectorSimulator().run(circuit)
+        rho = DensityMatrix.from_statevector(state)
+        assert rho.purity() == pytest.approx(1.0)
+        assert np.real(rho.expectation(Pauli("XX"))) == pytest.approx(1.0)
+
+    def test_ideal_density_matches_statevector(self):
+        circuit = QuantumCircuit(2).ry(0.7, 0).cx(0, 1).rz(0.3, 1)
+        hamiltonian = PauliSum({"XX": 1.0, "ZZ": 0.5, "IY": -0.3})
+        dense = DensityMatrixSimulator().expectation(circuit, hamiltonian)
+        exact = StatevectorSimulator().expectation(circuit, hamiltonian)
+        assert dense == pytest.approx(exact, abs=1e-9)
+
+    def test_noise_reduces_purity_and_magnitude(self):
+        circuit = QuantumCircuit(2).ry(np.pi / 2, 0).cx(0, 1)
+        hamiltonian = PauliSum({"XX": 1.0})
+        noisy_backend = DensityMatrixSimulator(fake_device("manhattan_like"))
+        ideal = DensityMatrixSimulator().expectation(circuit, hamiltonian)
+        noisy = noisy_backend.expectation(circuit, hamiltonian)
+        assert abs(noisy) < abs(ideal)
+        rho = noisy_backend.run(circuit)
+        assert rho.purity() < 1.0
+        assert np.real(rho.trace()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_more_noise_is_worse(self):
+        circuit = QuantumCircuit(2).ry(np.pi / 2, 0).cx(0, 1)
+        hamiltonian = PauliSum({"XX": 1.0})
+        casablanca = DensityMatrixSimulator(fake_device("casablanca_like"))
+        manhattan = DensityMatrixSimulator(fake_device("manhattan_like"))
+        assert abs(manhattan.expectation(circuit, hamiltonian)) < abs(
+            casablanca.expectation(circuit, hamiltonian)
+        )
+
+    def test_ideal_noise_model_changes_nothing(self):
+        circuit = QuantumCircuit(1).h(0)
+        hamiltonian = PauliSum({"X": 1.0})
+        assert DensityMatrixSimulator(ideal_noise_model()).expectation(
+            circuit, hamiltonian
+        ) == pytest.approx(1.0)
+
+    def test_readout_error_damps_probabilities(self):
+        model = NoiseModel(name="readout_only", readout=ReadoutError(0.1, 0.1))
+        circuit = QuantumCircuit(1).x(0)
+        probabilities = DensityMatrixSimulator(model).probabilities(circuit)
+        assert probabilities[1] == pytest.approx(0.9)
+        assert probabilities[0] == pytest.approx(0.1)
+
+    def test_sample_counts_sum(self):
+        backend = DensityMatrixSimulator(fake_device("casablanca_like"))
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        counts = backend.sample_counts(circuit, 200, np.random.default_rng(1))
+        assert sum(counts.values()) == 200
