@@ -1,0 +1,139 @@
+"""Perf benchmark: seed-style per-point loop vs the batched stabilizer engine.
+
+Times the CAFQA hot path — one constrained-objective evaluation per candidate
+Clifford point — two ways at n in {4, 8, 12} qubits:
+
+* ``single``: the seed pipeline (rebuild the bound ``QuantumCircuit``, run it
+  gate by gate on one tableau, evaluate the Pauli sum for that point), and
+* ``batched``: the compiled pipeline (one precompiled gate program, one
+  ``BatchedCliffordTableau`` evolving every candidate together, one vectorized
+  Pauli-sum kernel call for the whole batch).
+
+Writes ``BENCH_stabilizer.json`` at the repo root with points/sec for both
+paths so future PRs have a perf trajectory.  Skipped unless ``REPRO_BENCH=1``
+(it is a timing run, not a correctness gate; correctness is covered by
+``tests/test_batched_stabilizer.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.circuits import CliffordGateProgram, EfficientSU2Ansatz
+from repro.circuits.clifford_points import bind_clifford_point
+from repro.operators import PauliSum, random_pauli
+from repro.stabilizer import (
+    BatchedCliffordTableau,
+    PauliSumEvaluator,
+    StabilizerSimulator,
+)
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH") != "1",
+    reason="perf benchmark; set REPRO_BENCH=1 to run",
+)
+
+QUBIT_COUNTS = (4, 8, 12)
+BATCH_SIZE = 256
+OUTPUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_stabilizer.json"
+
+
+def _random_hamiltonian(num_qubits: int, num_terms: int, rng) -> PauliSum:
+    terms = {}
+    while len(terms) < num_terms:
+        label = random_pauli(num_qubits, rng).label
+        terms.setdefault(label, float(rng.normal()))
+    return PauliSum(terms)
+
+
+def _measure(fn, min_seconds: float = 0.3) -> float:
+    """Best-of-repeats wall time of ``fn`` (at least ``min_seconds`` total)."""
+    fn()  # warm-up
+    best, spent = np.inf, 0.0
+    while spent < min_seconds:
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        spent += elapsed
+    return best
+
+
+def test_single_vs_batched_objective_throughput():
+    rng = np.random.default_rng(1234)
+    simulator = StabilizerSimulator()
+    results = []
+    for num_qubits in QUBIT_COUNTS:
+        ansatz = EfficientSU2Ansatz(num_qubits, reps=2)
+        program = CliffordGateProgram.from_ansatz(ansatz)
+        hamiltonian = _random_hamiltonian(num_qubits, 20 * num_qubits, rng)
+        evaluator = PauliSumEvaluator(hamiltonian)
+        indices = rng.integers(0, 4, size=(BATCH_SIZE, ansatz.num_parameters))
+
+        # Seed-style loop: rebuild + bind the circuit, simulate one point at a
+        # time, evaluate the Pauli sum per point.  Timed on a slice of the
+        # batch to keep the run short, then normalized to points/sec.
+        single_count = max(8, BATCH_SIZE // 16)
+
+        def run_single():
+            for position in range(single_count):
+                circuit = bind_clifford_point(ansatz, indices[position])
+                tableau = simulator.run(circuit)
+                evaluator.expectation(tableau)
+
+        def run_batched():
+            batched = BatchedCliffordTableau.from_program(program, indices)
+            evaluator.expectation_batch(batched)
+
+        single_seconds = _measure(run_single)
+        batched_seconds = _measure(run_batched)
+        single_pps = single_count / single_seconds
+        batched_pps = BATCH_SIZE / batched_seconds
+        speedup = batched_pps / single_pps
+
+        # The two paths must produce numerically identical energies.
+        batched_values = evaluator.expectation_batch(
+            BatchedCliffordTableau.from_program(program, indices)
+        )
+        for position in range(single_count):
+            circuit = bind_clifford_point(ansatz, indices[position])
+            assert batched_values[position] == evaluator.expectation(
+                simulator.run(circuit)
+            )
+
+        results.append(
+            {
+                "num_qubits": num_qubits,
+                "num_parameters": ansatz.num_parameters,
+                "num_terms": evaluator.num_terms,
+                "batch_size": BATCH_SIZE,
+                "single_points_per_sec": round(single_pps, 2),
+                "batched_points_per_sec": round(batched_pps, 2),
+                "speedup": round(speedup, 2),
+            }
+        )
+        print(
+            f"n={num_qubits}: single {single_pps:,.0f} pts/s, "
+            f"batched {batched_pps:,.0f} pts/s, speedup {speedup:.1f}x"
+        )
+
+    OUTPUT_PATH.write_text(
+        json.dumps(
+            {
+                "benchmark": "stabilizer_objective_throughput",
+                "batch_size": BATCH_SIZE,
+                "results": results,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    at_12 = next(row for row in results if row["num_qubits"] == 12)
+    assert at_12["speedup"] >= 10.0

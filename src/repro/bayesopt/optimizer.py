@@ -87,6 +87,18 @@ class BayesianOptimizer:
     convergence_patience:
         Stop early when the best value has not improved for this many
         consecutive evaluations (None disables early stopping).
+    proposal_batch:
+        Number of surrogate-guided candidates proposed *and evaluated as one
+        batch* per round.  The default of 1 reproduces the classic
+        one-point-per-round loop exactly; larger values score the candidate
+        pool once and submit the top-k unseen points together, which is much
+        faster on batched objectives at the cost of a slightly less adaptive
+        trajectory.  Each batch is additionally capped at the evaluations
+        remaining until the next surrogate refit (so batching never stales
+        the model beyond ``refit_interval``; raise both together), and
+        model-guided batching is disabled when ``convergence_patience`` is
+        set, since no evaluation may run past the stopping point (seed points
+        still batch: every seed is evaluated unconditionally either way).
     """
 
     def __init__(
@@ -99,12 +111,15 @@ class BayesianOptimizer:
         seed_points: Optional[Sequence[Sequence[int]]] = None,
         convergence_patience: Optional[int] = None,
         refit_interval: int = 1,
+        proposal_batch: int = 1,
         seed: Optional[int] = None,
     ):
         if warmup_evaluations < 1:
             raise OptimizationError("need at least one warm-up evaluation")
         if candidate_pool_size < 1:
             raise OptimizationError("candidate pool must contain at least one point")
+        if proposal_batch < 1:
+            raise OptimizationError("proposal_batch must be at least one")
         self._space = space
         self._warmup = int(warmup_evaluations)
         self._pool_size = int(candidate_pool_size)
@@ -115,6 +130,7 @@ class BayesianOptimizer:
         self._seed_points = [tuple(int(v) for v in p) for p in (seed_points or [])]
         self._patience = convergence_patience
         self._refit_interval = max(1, int(refit_interval))
+        self._proposal_batch = int(proposal_batch)
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------ #
@@ -133,10 +149,14 @@ class BayesianOptimizer:
         best_value = np.inf
         stale = 0
         converged_iteration = 0
+        # Objectives exposing ``evaluate_batch`` (e.g. CliffordObjective) get
+        # whole batches of points instead of one call per point; the recorded
+        # trajectory is identical because batch values match pointwise ones.
+        batch_evaluate = getattr(objective, "evaluate_batch", None)
 
-        def record(point: Point, phase: str) -> None:
+        def record(point: Point, phase: str, value: Optional[float] = None) -> None:
             nonlocal best_point, best_value, stale, converged_iteration
-            value = float(objective(point))
+            value = float(objective(point)) if value is None else float(value)
             observation = Observation(
                 point=point, value=value, iteration=len(observations) + 1, phase=phase
             )
@@ -153,38 +173,95 @@ class BayesianOptimizer:
                 callback(observation)
 
         # Seed points (e.g. the Hartree-Fock Clifford point) come first.
+        pending_seeds: List[Point] = []
         for point in self._seed_points:
-            if len(observations) >= max_evaluations:
+            if len(pending_seeds) >= max_evaluations:
                 break
             point = self._space.validate(point)
-            if point not in seen:
-                record(point, "seed")
+            if point not in pending_seeds:
+                pending_seeds.append(point)
+        seed_values = (
+            batch_evaluate(pending_seeds)
+            if batch_evaluate is not None and len(pending_seeds) > 1
+            else None
+        )
+        for position, point in enumerate(pending_seeds):
+            record(point, "seed", None if seed_values is None else seed_values[position])
 
-        # Warm-up phase: uniform random exploration.
+        # Warm-up phase: uniform random exploration.  The single sampling rule
+        # below (budget, attempts cap, dedup against everything already
+        # tracked) serves both execution modes.  When the objective is batched
+        # and no early stopping can trigger, the whole warm-up is sampled up
+        # front and submitted as one batch — the sampling stream is
+        # value-independent, so the candidates are exactly the sequential
+        # ones.  With patience set, sampling stays interleaved with recording
+        # so the RNG stream stops where the sequential loop would.
+        def sample_warmup_candidate(tracked: set[Point]) -> Optional[Point]:
+            candidate = self._space.sample(1, self._rng)[0]
+            if candidate in tracked and self._space.size > len(tracked):
+                return None
+            return candidate
+
         warmup_budget = min(self._warmup, max_evaluations - len(observations))
         attempts = 0
-        while warmup_budget > 0 and attempts < 50 * self._warmup:
-            attempts += 1
-            candidate = self._space.sample(1, self._rng)[0]
-            if candidate in seen and self._space.size > len(seen):
-                continue
-            record(candidate, "warmup")
-            warmup_budget -= 1
-            if self._stopped(stale):
-                break
+        if batch_evaluate is not None and self._patience is None:
+            planned: List[Point] = []
+            planned_seen = set(seen)
+            while len(planned) < warmup_budget and attempts < 50 * self._warmup:
+                attempts += 1
+                candidate = sample_warmup_candidate(planned_seen)
+                if candidate is None:
+                    continue
+                planned.append(candidate)
+                planned_seen.add(candidate)
+            values = batch_evaluate(planned) if len(planned) > 1 else None
+            for position, candidate in enumerate(planned):
+                record(
+                    candidate, "warmup", None if values is None else values[position]
+                )
+        else:
+            while warmup_budget > 0 and attempts < 50 * self._warmup:
+                attempts += 1
+                candidate = sample_warmup_candidate(seen)
+                if candidate is None:
+                    continue
+                record(candidate, "warmup")
+                warmup_budget -= 1
+                if self._stopped(stale):
+                    break
 
-        # Model-guided phase.
+        # Model-guided phase: score the candidate pool once per round and
+        # submit the top proposals as one batch.
         surrogate = None
         rounds_since_fit = self._refit_interval
         while len(observations) < max_evaluations and not self._stopped(stale):
             if rounds_since_fit >= self._refit_interval or surrogate is None:
                 surrogate = self._fit_surrogate(observations)
                 rounds_since_fit = 0
-            candidate = self._propose(surrogate, observations, seen, best_point)
-            if candidate is None:
+            # With early stopping active, propose one point at a time so no
+            # batch is simulated past the stopping point (mirrors warm-up).
+            count = min(
+                self._proposal_batch if self._patience is None else 1,
+                max_evaluations - len(observations),
+                self._refit_interval - rounds_since_fit,
+            )
+            candidates = self._propose_batch(
+                surrogate, observations, seen, best_point, count
+            )
+            if not candidates:
                 break
-            record(candidate, "search")
-            rounds_since_fit += 1
+            values = (
+                batch_evaluate(candidates)
+                if batch_evaluate is not None and len(candidates) > 1
+                else None
+            )
+            for position, candidate in enumerate(candidates):
+                record(
+                    candidate, "search", None if values is None else values[position]
+                )
+                rounds_since_fit += 1
+                if len(observations) >= max_evaluations or self._stopped(stale):
+                    break
 
         if best_point is None:
             raise OptimizationError("no evaluations were performed")
@@ -220,13 +297,15 @@ class BayesianOptimizer:
         surrogate.fit(features, targets)
         return surrogate
 
-    def _propose(
+    def _propose_batch(
         self,
         surrogate: RandomForestRegressor,
         observations: Sequence[Observation],
         seen: set[Point],
         best_point: Optional[Point],
-    ) -> Optional[Point]:
+        count: int,
+    ) -> List[Point]:
+        """The ``count`` best-scoring unseen candidates from one scored pool."""
         pool: List[Point] = self._space.sample(self._pool_size // 2, self._rng)
         if best_point is not None:
             pool += self._space.neighbors(
@@ -238,10 +317,11 @@ class BayesianOptimizer:
             for _ in range(1000):
                 candidate = self._space.sample(1, self._rng)[0]
                 if candidate not in seen:
-                    return candidate
-            return None
+                    return [candidate]
+            return []
         features = self._space.to_array(unseen)
         mean, std = surrogate.predict_with_uncertainty(features)
         best_observed = min(obs.value for obs in observations)
         scores = self._acquisition.score(mean, std, best_observed, self._rng)
-        return unseen[int(np.argmin(scores))]
+        order = np.argsort(scores, kind="stable")
+        return [unseen[int(index)] for index in order[:count]]

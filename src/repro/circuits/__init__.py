@@ -4,6 +4,8 @@ from repro.circuits.ansatz import EfficientSU2Ansatz, entangling_pairs, hartree_
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.clifford_points import (
     CLIFFORD_ANGLES,
+    CliffordGateProgram,
+    ProgramOp,
     angles_to_indices,
     bind_clifford_point,
     enumerate_clifford_points,
@@ -11,6 +13,7 @@ from repro.circuits.clifford_points import (
     indices_to_angles,
     random_clifford_points,
     search_space_size,
+    validate_clifford_point,
 )
 from repro.circuits.gates import (
     CLIFFORD_GATES,
@@ -44,6 +47,9 @@ __all__ = [
     "indices_to_angles",
     "angles_to_indices",
     "bind_clifford_point",
+    "validate_clifford_point",
+    "CliffordGateProgram",
+    "ProgramOp",
     "search_space_size",
     "enumerate_clifford_points",
     "random_clifford_points",

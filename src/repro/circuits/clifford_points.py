@@ -9,13 +9,19 @@ circuits, and provides helpers to enumerate / sample the discrete space.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.circuits.ansatz import EfficientSU2Ansatz
 from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.gates import angle_from_clifford_index, clifford_index_from_angle
+from repro.circuits.gates import (
+    NON_CLIFFORD_GATES,
+    ROTATION_GATES,
+    angle_from_clifford_index,
+    clifford_index_from_angle,
+)
 from repro.exceptions import CircuitError
 
 CLIFFORD_ANGLES = tuple(angle_from_clifford_index(k) for k in range(4))
@@ -32,17 +38,108 @@ def angles_to_indices(angles: Sequence[float]) -> List[int]:
     return [clifford_index_from_angle(float(theta)) for theta in angles]
 
 
-def bind_clifford_point(ansatz: EfficientSU2Ansatz, indices: Sequence[int]) -> QuantumCircuit:
-    """Bind an ansatz at the Clifford point given by ``indices``."""
-    indices = list(indices)
-    if len(indices) != ansatz.num_parameters:
+def validate_clifford_point(indices: Sequence[int], num_parameters: int) -> Tuple[int, ...]:
+    """Check length and index range of a Clifford point; return it as a tuple."""
+    values = list(indices)
+    if len(values) != num_parameters:
         raise CircuitError(
-            f"expected {ansatz.num_parameters} Clifford indices, got {len(indices)}"
+            f"expected {num_parameters} Clifford indices, got {len(values)}"
         )
-    for index in indices:
+    for index in values:
         if int(index) not in (0, 1, 2, 3):
             raise CircuitError(f"Clifford index {index!r} must be in 0..3")
+    return tuple(int(index) for index in values)
+
+
+def bind_clifford_point(ansatz: EfficientSU2Ansatz, indices: Sequence[int]) -> QuantumCircuit:
+    """Bind an ansatz at the Clifford point given by ``indices``."""
+    indices = validate_clifford_point(indices, ansatz.num_parameters)
     return ansatz.bind(indices_to_angles(indices))
+
+
+@dataclass(frozen=True)
+class ProgramOp:
+    """One flat instruction of a compiled Clifford program.
+
+    Exactly one of the rotation fields is set for rotation gates:
+    ``parameter_index`` points at the Clifford-index slot that supplies the
+    angle at run time, while ``fixed_index`` bakes in a bound multiple of
+    pi/2.  Fixed (non-rotation) Clifford gates leave both as ``None``.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    parameter_index: Optional[int] = None
+    fixed_index: Optional[int] = None
+
+
+class CliffordGateProgram:
+    """A Clifford circuit flattened to a gate list executable on tableaux.
+
+    Compiling once removes the per-evaluation ``QuantumCircuit`` rebuild and
+    parameter bind from the CAFQA hot path: rotation ops reference parameter
+    slots, so a stabilizer tableau — or a whole batch of them — executes the
+    program straight from a vector (or matrix) of Clifford indices.  Slot
+    ``k`` corresponds to the ``k``-th circuit parameter in order of first
+    appearance, matching the positional convention of
+    :func:`bind_clifford_point`.
+    """
+
+    def __init__(self, num_qubits: int, num_parameters: int, ops: Tuple[ProgramOp, ...]):
+        self._num_qubits = int(num_qubits)
+        self._num_parameters = int(num_parameters)
+        self._ops = tuple(ops)
+
+    @classmethod
+    def compile(cls, circuit: QuantumCircuit) -> "CliffordGateProgram":
+        """Flatten a (possibly parameterized) Clifford circuit into a program."""
+        slots = {parameter: i for i, parameter in enumerate(circuit.parameters)}
+        ops: List[ProgramOp] = []
+        for gate in circuit:
+            if gate.name == "id":
+                continue
+            if gate.name in NON_CLIFFORD_GATES:
+                raise CircuitError(
+                    f"gate {gate.name!r} is not Clifford; only Clifford circuits "
+                    "can be compiled to a gate program"
+                )
+            if gate.is_parameterized:
+                ops.append(
+                    ProgramOp(gate.name, gate.qubits, parameter_index=slots[gate.parameter])
+                )
+            elif gate.name in ROTATION_GATES:
+                index = clifford_index_from_angle(float(gate.parameter))
+                if index:
+                    ops.append(ProgramOp(gate.name, gate.qubits, fixed_index=index))
+            else:
+                ops.append(ProgramOp(gate.name, gate.qubits))
+        return cls(circuit.num_qubits, len(slots), tuple(ops))
+
+    @classmethod
+    def from_ansatz(cls, ansatz: EfficientSU2Ansatz) -> "CliffordGateProgram":
+        return cls.compile(ansatz.circuit)
+
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def num_parameters(self) -> int:
+        return self._num_parameters
+
+    @property
+    def ops(self) -> Tuple[ProgramOp, ...]:
+        return self._ops
+
+    @property
+    def num_ops(self) -> int:
+        return len(self._ops)
+
+    def __repr__(self) -> str:
+        return (
+            f"CliffordGateProgram({self._num_qubits} qubits, {len(self._ops)} ops, "
+            f"{self._num_parameters} parameters)"
+        )
 
 
 def search_space_size(num_parameters: int) -> int:

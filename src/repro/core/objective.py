@@ -4,19 +4,29 @@ A :class:`CliffordObjective` maps a vector of Clifford indices (one per ansatz
 parameter, each in {0, 1, 2, 3}) to the constrained energy of the resulting
 stabilizer state, evaluated exactly with the stabilizer simulator — the
 "classical discrete search: ideal evaluation" box of the paper's Fig. 4.
+
+The evaluation pipeline is compiled: the ansatz is flattened once into a
+:class:`~repro.circuits.clifford_points.CliffordGateProgram` (no
+``QuantumCircuit`` rebuild per call), whole batches of candidate points are
+evolved together on a :class:`~repro.stabilizer.BatchedCliffordTableau`, and
+the Pauli-sum expectation is one vectorized kernel call for the entire batch.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.chemistry.hamiltonian import MolecularProblem
 from repro.circuits.ansatz import EfficientSU2Ansatz
-from repro.circuits.clifford_points import bind_clifford_point
+from repro.circuits.clifford_points import CliffordGateProgram, validate_clifford_point
 from repro.core.constraints import ParticleConstraint, constrained_hamiltonian
 from repro.operators.pauli_sum import PauliSum
 from repro.stabilizer.expectation import PauliSumEvaluator
-from repro.stabilizer.simulator import StabilizerSimulator
+from repro.stabilizer.tableau import BatchedCliffordTableau, CliffordTableau
+
+Point = Tuple[int, ...]
 
 
 class CliffordObjective:
@@ -24,7 +34,12 @@ class CliffordObjective:
 
     Evaluations are memoized: the Bayesian search frequently revisits
     neighbouring points, and every evaluation is deterministic (noise-free
-    classical simulation), so caching is free accuracy-wise.
+    classical simulation), so caching is free accuracy-wise.  Points queried
+    through :meth:`tableau` keep their stabilizer tableau (not just the
+    scalar), so :meth:`__call__`, :meth:`energy`, and
+    :meth:`term_expectations` share one simulation per point; batch
+    evaluations cache scalars only, keeping the hot path free of per-point
+    extraction.
     """
 
     def __init__(
@@ -51,10 +66,11 @@ class CliffordObjective:
         self._operator = constrained_hamiltonian(
             problem, constraint=constraint, spin_z_target=spin_z_target
         )
-        self._simulator = StabilizerSimulator()
+        self._program = CliffordGateProgram.from_ansatz(ansatz)
         self._operator_evaluator = PauliSumEvaluator(self._operator)
         self._energy_evaluator = PauliSumEvaluator(problem.hamiltonian)
-        self._cache: Optional[Dict[Tuple[int, ...], float]] = {} if cache else None
+        self._cache: Optional[Dict[Point, float]] = {} if cache else None
+        self._tableaux: Optional[Dict[Point, CliffordTableau]] = {} if cache else None
         self._evaluations = 0
 
     # ------------------------------------------------------------------ #
@@ -72,6 +88,11 @@ class CliffordObjective:
         return self._operator
 
     @property
+    def program(self) -> CliffordGateProgram:
+        """The ansatz precompiled to a flat Clifford gate program."""
+        return self._program
+
+    @property
     def num_parameters(self) -> int:
         return self._ansatz.num_parameters
 
@@ -81,28 +102,89 @@ class CliffordObjective:
         return self._evaluations
 
     # ------------------------------------------------------------------ #
+    def _key(self, indices: Sequence[int]) -> Point:
+        return validate_clifford_point(indices, self._ansatz.num_parameters)
+
+    def _simulate(self, keys: Sequence[Point]) -> BatchedCliffordTableau:
+        matrix = np.asarray(keys, dtype=np.int64).reshape(
+            len(keys), self._ansatz.num_parameters
+        )
+        self._evaluations += len(keys)
+        return BatchedCliffordTableau.from_program(self._program, matrix)
+
+    # Tableaux are ~KB-sized objects, so unlike the scalar cache the tableau
+    # cache is bounded: a Fig. 15-scale search visits tens of thousands of
+    # points but only ever revisits a recent window (and, at the end, the
+    # incumbent — re-simulating one evicted point is negligible).
+    _TABLEAU_CACHE_LIMIT = 1024
+
+    def tableau(self, indices: Sequence[int]) -> CliffordTableau:
+        """The (cached) stabilizer tableau of the ansatz at a Clifford point."""
+        key = self._key(indices)
+        if self._tableaux is not None:
+            cached = self._tableaux.get(key)
+            if cached is not None:
+                return cached
+        tableau = self._simulate([key]).extract(0)
+        if self._tableaux is not None:
+            while len(self._tableaux) >= self._TABLEAU_CACHE_LIMIT:
+                self._tableaux.pop(next(iter(self._tableaux)))
+            self._tableaux[key] = tableau
+        return tableau
+
     def __call__(self, indices: Sequence[int]) -> float:
-        key = tuple(int(v) for v in indices)
+        key = self._key(indices)
         if self._cache is not None and key in self._cache:
             return self._cache[key]
-        circuit = bind_clifford_point(self._ansatz, key)
-        tableau = self._simulator.run(circuit)
-        value = self._operator_evaluator.expectation(tableau)
-        self._evaluations += 1
+        value = float(self._operator_evaluator.expectation(self.tableau(key)))
         if self._cache is not None:
             self._cache[key] = value
         return value
 
+    def evaluate_batch(self, points: Sequence[Sequence[int]]) -> np.ndarray:
+        """Constrained energies of many Clifford points in one batched simulation.
+
+        Returns values in the order of ``points``; duplicates and previously
+        cached points cost nothing extra.  Numerically identical to calling
+        the objective point by point.
+        """
+        keys = [self._key(point) for point in points]
+        values: Dict[Point, float] = {}
+        if self._cache is not None:
+            for key in keys:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    values[key] = cached
+        pending = [key for key in dict.fromkeys(keys) if key not in values]
+        # Points whose tableau is already cached (e.g. via .energy()) reuse it.
+        if self._tableaux is not None and pending:
+            ready = [key for key in pending if key in self._tableaux]
+            for key in ready:
+                values[key] = float(
+                    self._operator_evaluator.expectation(self._tableaux[key])
+                )
+            pending = [key for key in pending if key not in self._tableaux]
+        if pending:
+            batched = self._simulate(pending)
+            energies = self._operator_evaluator.expectation_batch(batched)
+            for position, key in enumerate(pending):
+                values[key] = float(energies[position])
+        if self._cache is not None:
+            for key in dict.fromkeys(keys):
+                self._cache.setdefault(key, values[key])
+        return np.array([values[key] for key in keys], dtype=float)
+
     def energy(self, indices: Sequence[int]) -> float:
         """Unconstrained Hamiltonian energy (no penalty terms) at a Clifford point."""
-        circuit = bind_clifford_point(self._ansatz, indices)
-        tableau = self._simulator.run(circuit)
-        return self._energy_evaluator.expectation(tableau)
+        return float(self._energy_evaluator.expectation(self.tableau(indices)))
 
     def term_expectations(self, indices: Sequence[int]) -> Dict[str, int]:
         """Per-Pauli-term expectations at a Clifford point (used by Fig. 6)."""
-        circuit = bind_clifford_point(self._ansatz, indices)
-        return self._simulator.term_expectations(circuit, self._problem.hamiltonian)
+        values = self._energy_evaluator.term_expectations(self.tableau(indices))
+        return {
+            label: int(value)
+            for label, value in zip(self._energy_evaluator.labels, values)
+        }
 
     def constraint_violation(self, indices: Sequence[int]) -> float:
         """Penalty contribution (constrained minus plain energy) at a point."""

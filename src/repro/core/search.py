@@ -98,6 +98,7 @@ class CafqaSearch:
         local_refinement: bool = True,
         refinement_sweeps: int = 4,
         refit_interval: int = 5,
+        proposal_batch: int = 1,
         seed: Optional[int] = None,
     ):
         if not 0.0 < warmup_fraction < 1.0:
@@ -121,6 +122,7 @@ class CafqaSearch:
         self._local_refinement = bool(local_refinement)
         self._refinement_sweeps = int(refinement_sweeps)
         self._refit_interval = int(refit_interval)
+        self._proposal_batch = int(proposal_batch)
         self._seed = seed
 
     # ------------------------------------------------------------------ #
@@ -154,6 +156,7 @@ class CafqaSearch:
             seed_points=seeds,
             convergence_patience=self._patience,
             refit_interval=self._refit_interval,
+            proposal_batch=self._proposal_batch,
             seed=self._seed,
         )
         search_result = optimizer.minimize(self._objective, max_evaluations=max_evaluations)
@@ -219,21 +222,50 @@ def coordinate_descent(
     holding the rest fixed, and keeps any improvement.  Stops after a full
     sweep with no improvement or after ``max_sweeps`` sweeps.  Returns the
     best point, its value, and the evaluations performed (phase ``"refine"``).
+
+    Objectives exposing ``evaluate_batch`` (e.g. ``CliffordObjective``) are
+    driven in batches: each sweep's candidate set is simulated together up
+    front, and re-batched from the incumbent whenever an improvement shifts
+    it.  Batch values match pointwise ones exactly, so the greedy trajectory
+    — points visited, adoption decisions, recorded observations — is
+    identical to the sequential loop.
     """
+    batch_evaluate = getattr(objective, "evaluate_batch", None)
+
+    def substitute(point: tuple, dimension: int, value: int) -> tuple:
+        candidate = list(point)
+        candidate[dimension] = value
+        return tuple(candidate)
+
+    def sweep_candidates(point: tuple, dimensions: range) -> tuple[List[tuple], np.ndarray]:
+        candidates = [
+            substitute(point, dimension, candidate_value)
+            for dimension in dimensions
+            for candidate_value in range(cardinality)
+            if candidate_value != point[dimension]
+        ]
+        return candidates, batch_evaluate(candidates)
+
     current = tuple(int(v) for v in start_point)
     current_value = float(objective(current))
     observations: List[Observation] = []
     iteration = start_iteration
+    dimensions = len(current)
     for _ in range(max_sweeps):
         improved = False
-        for dimension in range(len(current)):
+        batched: dict = {}
+        if batch_evaluate is not None and dimensions:
+            points, values = sweep_candidates(current, range(dimensions))
+            batched = dict(zip(points, values))
+        for dimension in range(dimensions):
             for candidate_value in range(cardinality):
                 if candidate_value == current[dimension]:
                     continue
-                candidate = list(current)
-                candidate[dimension] = candidate_value
-                candidate = tuple(candidate)
-                value = float(objective(candidate))
+                candidate = substitute(current, dimension, candidate_value)
+                if candidate in batched:
+                    value = float(batched[candidate])
+                else:
+                    value = float(objective(candidate))
                 iteration += 1
                 observations.append(
                     Observation(point=candidate, value=value, iteration=iteration, phase="refine")
@@ -241,6 +273,14 @@ def coordinate_descent(
                 if value < current_value - 1e-12:
                     current, current_value = candidate, value
                     improved = True
+                    # The rest of this sweep branches off the new incumbent,
+                    # so later candidates miss `batched` and fall back to
+                    # pointwise calls.  That bounds each sweep at one batch
+                    # plus at most a sequential remainder (re-batching here
+                    # instead would cost O(dims^2) on improvement-dense
+                    # sweeps); the next sweep re-batches everything from the
+                    # new incumbent, and the final convergence sweep — which
+                    # never improves — is always a single batch.
         if not improved:
             break
     return current, current_value, observations

@@ -1,6 +1,38 @@
-"""Polynomial-time Clifford circuit simulation (Aaronson–Gottesman tableau)."""
+"""Polynomial-time Clifford circuit simulation (Aaronson–Gottesman tableau).
 
+The tableau is bit-packed (uint64 words, 64 qubits per word) and comes in a
+batched flavour — :class:`BatchedCliffordTableau` evolves many candidate
+Clifford points through a shared gate skeleton at once, which is what the
+CAFQA search loop runs on.
+"""
+
+from repro.stabilizer.expectation import PauliSumEvaluator
 from repro.stabilizer.simulator import StabilizerSimulator, expectation_from_tableau
-from repro.stabilizer.tableau import CliffordTableau
+from repro.stabilizer.symplectic import (
+    bit_counts,
+    num_words,
+    pack_bits,
+    pauli_product_phase,
+    stabilizer_expectations,
+    unpack_bits,
+)
+from repro.stabilizer.tableau import (
+    BatchedCliffordTableau,
+    CliffordTableau,
+    SymplecticView,
+)
 
-__all__ = ["CliffordTableau", "StabilizerSimulator", "expectation_from_tableau"]
+__all__ = [
+    "BatchedCliffordTableau",
+    "CliffordTableau",
+    "PauliSumEvaluator",
+    "StabilizerSimulator",
+    "SymplecticView",
+    "bit_counts",
+    "expectation_from_tableau",
+    "num_words",
+    "pack_bits",
+    "pauli_product_phase",
+    "stabilizer_expectations",
+    "unpack_bits",
+]

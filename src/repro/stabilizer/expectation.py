@@ -1,10 +1,12 @@
 """Fast batched Pauli-sum expectations for stabilizer states.
 
 The CAFQA objective evaluates the same Hamiltonian for thousands of candidate
-circuits.  :class:`PauliSumEvaluator` pre-extracts the Hamiltonian's Pauli
-terms into boolean bit matrices once, then evaluates every term against a
-tableau with vectorized symplectic arithmetic, avoiding per-term Python
-object construction in the hot loop.
+circuits.  :class:`PauliSumEvaluator` packs the Hamiltonian's Pauli terms
+into uint64 bit matrices once, then evaluates *every term for every state in
+a batch* with one call into the vectorized symplectic kernel — the
+anticommutation tests, destabilizer decompositions, and phase accumulation
+are GF(2) matmuls and popcounts with no Python loop over terms or batch
+elements (see :func:`repro.stabilizer.symplectic.stabilizer_expectations`).
 """
 
 from __future__ import annotations
@@ -13,9 +15,12 @@ import numpy as np
 
 from repro.exceptions import SimulationError
 from repro.operators.pauli_sum import PauliSum
-from repro.stabilizer.tableau import CliffordTableau
+from repro.stabilizer.symplectic import num_words, pack_bits, stabilizer_expectations
+from repro.stabilizer.tableau import BatchedCliffordTableau, CliffordTableau
 
-_CHAR_TO_XZ = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
+# Cap the (batch, terms, generators, words) intermediates at ~32 MB per array
+# by chunking the batch axis.
+_CHUNK_ELEMENTS = 1 << 22
 
 
 class PauliSumEvaluator:
@@ -27,19 +32,19 @@ class PauliSumEvaluator:
         coefficients = np.array(
             [np.real(hamiltonian.coefficient(label)) for label in labels], dtype=float
         )
-        num_terms = len(labels)
-        x_bits = np.zeros((num_terms, self._num_qubits), dtype=bool)
-        z_bits = np.zeros((num_terms, self._num_qubits), dtype=bool)
-        for row, label in enumerate(labels):
-            for position, character in enumerate(label):
-                qubit = self._num_qubits - 1 - position
-                x, z = _CHAR_TO_XZ[character]
-                x_bits[row, qubit] = bool(x)
-                z_bits[row, qubit] = bool(z)
+        if labels:
+            # Column q of the character matrix is qubit q (labels are written
+            # highest qubit first).
+            chars = np.array([list(label) for label in labels])[:, ::-1]
+            x_bits = (chars == "X") | (chars == "Y")
+            z_bits = (chars == "Z") | (chars == "Y")
+        else:
+            x_bits = np.zeros((0, self._num_qubits), dtype=bool)
+            z_bits = np.zeros((0, self._num_qubits), dtype=bool)
         self._labels = labels
         self._coefficients = coefficients
-        self._x = x_bits
-        self._z = z_bits
+        self._term_x = pack_bits(x_bits)
+        self._term_z = pack_bits(z_bits)
 
     # ------------------------------------------------------------------ #
     @property
@@ -57,62 +62,67 @@ class PauliSumEvaluator:
     # ------------------------------------------------------------------ #
     def term_expectations(self, tableau: CliffordTableau) -> np.ndarray:
         """Expectation of every term (each exactly -1, 0, or +1), in label order."""
-        if tableau.num_qubits != self._num_qubits:
-            raise SimulationError("tableau and Hamiltonian qubit counts differ")
-        n = self._num_qubits
-        stab_x = tableau._x[n:]
-        stab_z = tableau._z[n:]
-        destab_x = tableau._x[:n]
-        destab_z = tableau._z[:n]
-        signs = tableau._r[n:]
-
-        # Anticommutation of every term with every stabilizer generator.
-        term_x = self._x.astype(np.uint8)
-        term_z = self._z.astype(np.uint8)
-        anti = (
-            term_z @ stab_x.astype(np.uint8).T + term_x @ stab_z.astype(np.uint8).T
-        ) % 2
-        commutes = ~np.any(anti, axis=1)
-
-        # Which generators participate in each commuting term's decomposition.
-        participates = (
-            term_z @ destab_x.astype(np.uint8).T + term_x @ destab_z.astype(np.uint8).T
-        ) % 2
-
-        expectations = np.zeros(self.num_terms, dtype=np.int8)
-        for index in np.nonzero(commutes)[0]:
-            rows = np.nonzero(participates[index])[0]
-            if len(rows) == 0:
-                # Identity term (or the trivial decomposition): expectation +1.
-                expectations[index] = 1
-                continue
-            phase = 0
-            acc_x = np.zeros(n, dtype=bool)
-            acc_z = np.zeros(n, dtype=bool)
-            for row in rows:
-                phase += 2 * int(signs[row])
-                phase += _product_phase(acc_x, acc_z, stab_x[row], stab_z[row])
-                acc_x ^= stab_x[row]
-                acc_z ^= stab_z[row]
-            expectations[index] = 1 if phase % 4 == 0 else -1
-        return expectations.astype(float)
+        self._check_qubits(tableau)
+        stab = tableau.stabilizer_block()
+        destab = tableau.destabilizer_block()
+        values = self._values(
+            stab.x[None], stab.z[None], stab.r[None], destab.x[None], destab.z[None]
+        )
+        return values[0].astype(float)
 
     def expectation(self, tableau: CliffordTableau) -> float:
         """Coefficient-weighted expectation of the whole Pauli sum."""
-        return float(np.dot(self._coefficients, self.term_expectations(tableau)))
+        return float(self._reduce(self.term_expectations(tableau)[None])[0])
 
+    def term_expectations_batch(self, tableaux: BatchedCliffordTableau) -> np.ndarray:
+        """Per-term expectations for a whole batch: ``(batch, terms)`` floats."""
+        self._check_qubits(tableaux)
+        stab = tableaux.stabilizer_block()
+        destab = tableaux.destabilizer_block()
+        values = self._values(stab.x, stab.z, stab.r, destab.x, destab.z)
+        return values.astype(float)
 
-def _product_phase(x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray) -> int:
-    """Power of i (mod 4) from multiplying Pauli row 1 by row 2 (AG's g function)."""
-    x1i = x1.astype(np.int8)
-    z1i = z1.astype(np.int8)
-    x2i = x2.astype(np.int8)
-    z2i = z2.astype(np.int8)
-    g = np.zeros(len(x1), dtype=np.int64)
-    is_y = (x1i == 1) & (z1i == 1)
-    is_x = (x1i == 1) & (z1i == 0)
-    is_z = (x1i == 0) & (z1i == 1)
-    g[is_y] = (z2i - x2i)[is_y]
-    g[is_x] = (z2i * (2 * x2i - 1))[is_x]
-    g[is_z] = (x2i * (1 - 2 * z2i))[is_z]
-    return int(np.sum(g)) % 4
+    def expectation_batch(self, tableaux: BatchedCliffordTableau) -> np.ndarray:
+        """Coefficient-weighted expectations for a whole batch: ``(batch,)`` floats."""
+        return self._reduce(self.term_expectations_batch(tableaux))
+
+    def _reduce(self, term_values: np.ndarray) -> np.ndarray:
+        # Multiply-then-sum (not BLAS dot/gemv, whose reduction order varies
+        # with batch shape) so batched and single-point energies are
+        # bit-for-bit identical.
+        return (term_values * self._coefficients).sum(axis=-1)
+
+    # ------------------------------------------------------------------ #
+    def _check_qubits(self, tableau) -> None:
+        if tableau.num_qubits != self._num_qubits:
+            raise SimulationError("tableau and Hamiltonian qubit counts differ")
+
+    def _values(self, stab_x, stab_z, signs, destab_x, destab_z) -> np.ndarray:
+        batch = stab_x.shape[0]
+        # The kernel's largest intermediates are (B, T, n, W) anticommutation
+        # tables and the (B, n, n, W) pairwise cross table; size the chunk by
+        # whichever dominates.
+        per_element = max(
+            1,
+            max(self.num_terms, self._num_qubits)
+            * self._num_qubits
+            * num_words(self._num_qubits),
+        )
+        chunk = max(1, _CHUNK_ELEMENTS // per_element)
+        if batch <= chunk:
+            return stabilizer_expectations(
+                stab_x, stab_z, signs, destab_x, destab_z, self._term_x, self._term_z
+            )
+        pieces = [
+            stabilizer_expectations(
+                stab_x[start : start + chunk],
+                stab_z[start : start + chunk],
+                signs[start : start + chunk],
+                destab_x[start : start + chunk],
+                destab_z[start : start + chunk],
+                self._term_x,
+                self._term_z,
+            )
+            for start in range(0, batch, chunk)
+        ]
+        return np.concatenate(pieces, axis=0)

@@ -7,10 +7,11 @@ from typing import Optional
 import numpy as np
 
 from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.clifford_points import CliffordGateProgram
 from repro.exceptions import SimulationError
 from repro.operators.pauli import Pauli
 from repro.operators.pauli_sum import PauliSum
-from repro.stabilizer.tableau import CliffordTableau
+from repro.stabilizer.tableau import BatchedCliffordTableau, CliffordTableau
 
 
 class StabilizerSimulator:
@@ -35,6 +36,17 @@ class StabilizerSimulator:
         for gate in circuit:
             tableau.apply_gate(gate)
         return tableau
+
+    def run_program(self, program: CliffordGateProgram, indices) -> BatchedCliffordTableau:
+        """Evolve a whole batch of Clifford points through a compiled program.
+
+        ``indices`` is a ``(batch, num_parameters)`` matrix of Clifford
+        rotation indices (one row per candidate point; a single vector is a
+        batch of one).  This is the CAFQA hot path: the gate skeleton is
+        compiled once and every batch element differs only in its rotation
+        indices.
+        """
+        return BatchedCliffordTableau.from_program(program, indices)
 
     def pauli_expectation(self, circuit: QuantumCircuit, pauli: Pauli) -> int:
         """Expectation of a single Pauli string; exactly -1, 0, or +1."""

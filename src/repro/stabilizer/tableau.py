@@ -1,4 +1,4 @@
-"""Aaronson–Gottesman stabilizer tableau.
+"""Aaronson–Gottesman stabilizer tableaux, bit-packed and batched.
 
 The tableau tracks ``2n`` rows of Pauli operators: rows ``0..n-1`` are the
 destabilizers and rows ``n..2n-1`` are the stabilizer generators of the
@@ -6,53 +6,475 @@ current state.  Each row stores symplectic bit vectors ``x``, ``z`` and a
 sign bit ``r`` so that the represented Pauli is ``(-1)^r * prod_j P_j`` with
 ``P_j`` being I/X/Y/Z according to ``(x_j, z_j)``.
 
-Gate updates follow the CHP rules (Aaronson & Gottesman, PRA 70, 052328) for
-the generators H, S, CX; every other Clifford gate (including rotation gates
-at multiples of pi/2) is decomposed into those generators, which is exact up
-to an irrelevant global phase.
+Rows are bit-packed into uint64 words (qubit ``q`` is bit ``q % 64`` of word
+``q // 64``, see :mod:`repro.stabilizer.symplectic`), and the primitive
+H/S/CX/Pauli updates operate on packed words following the CHP rules
+(Aaronson & Gottesman, PRA 70, 052328).  Every other Clifford gate —
+including rotation gates at multiples of pi/2 — is decomposed into those
+generators, which is exact up to an irrelevant global phase.
+
+:class:`BatchedCliffordTableau` evolves a whole batch of states at once
+through a shared gate skeleton: every update is vectorized over
+``(batch, 2n)`` and rotation gates take a per-batch-element Clifford index,
+which is exactly the structure of CAFQA's search (one EfficientSU2 skeleton,
+many candidate index vectors).  :class:`CliffordTableau` is the single-state
+view (a batch of one) that the rest of the code base uses.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING, NamedTuple, Optional
 
 import numpy as np
 
 from repro.circuits.gates import Gate, clifford_index_from_angle
 from repro.exceptions import SimulationError
 from repro.operators.pauli import Pauli
+from repro.stabilizer.symplectic import (
+    WORD_BITS,
+    num_words,
+    pack_bits,
+    stabilizer_expectations,
+    unpack_bits,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard dependency
+    from repro.circuits.clifford_points import CliffordGateProgram
+
+_ONE = np.uint64(1)
+
+# Decomposition of rotation gates at k * pi/2 into Clifford generators.  The
+# RY entries are exact up to a global phase: RY(pi/2) = X.H and
+# RY(3pi/2) = H.X, applied left-to-right.
+_ROTATION_SEQUENCES = {
+    "rz": {1: ("s",), 2: ("z",), 3: ("sdg",)},
+    "rx": {1: ("sx",), 2: ("x",), 3: ("sxdg",)},
+    "ry": {1: ("h", "x"), 2: ("y",), 3: ("x", "h")},
+}
+
+
+class SymplecticView(NamedTuple):
+    """Read-only packed view of tableau rows: ``x``/``z`` words plus signs."""
+
+    x: np.ndarray
+    z: np.ndarray
+    r: np.ndarray
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
+class BatchedCliffordTableau:
+    """A batch of stabilizer tableaux evolved in lockstep, all ``|0...0>``.
+
+    All gate methods accept an optional boolean ``mask`` of shape
+    ``(batch,)`` restricting the update to a subset of the batch; masked
+    updates are expressed as XOR deltas so they cost the same as unmasked
+    ones.  :meth:`apply_rotation` uses masks to give every batch element its
+    own Clifford rotation index while sharing the gate skeleton.
+    """
+
+    def __init__(self, batch_size: int, num_qubits: int):
+        if batch_size < 1:
+            raise SimulationError("batch needs at least one tableau")
+        if num_qubits < 1:
+            raise SimulationError("tableau needs at least one qubit")
+        self._batch = int(batch_size)
+        self._n = int(num_qubits)
+        self._words = num_words(self._n)
+        n, words = self._n, self._words
+        self._x = np.zeros((self._batch, 2 * n, words), dtype=np.uint64)
+        self._z = np.zeros((self._batch, 2 * n, words), dtype=np.uint64)
+        self._r = np.zeros((self._batch, 2 * n), dtype=bool)
+        # Destabilizers start as X_i, stabilizers as Z_i.
+        i = np.arange(n)
+        bits = np.left_shift(_ONE, (i % WORD_BITS).astype(np.uint64))
+        self._x[:, i, i // WORD_BITS] = bits
+        self._z[:, n + i, i // WORD_BITS] = bits
+
+    @classmethod
+    def _from_arrays(
+        cls, x: np.ndarray, z: np.ndarray, r: np.ndarray
+    ) -> "BatchedCliffordTableau":
+        tableau = cls.__new__(cls)
+        tableau._batch = x.shape[0]
+        tableau._n = x.shape[1] // 2
+        tableau._words = x.shape[2]
+        tableau._x, tableau._z, tableau._r = x, z, r
+        return tableau
+
+    @classmethod
+    def from_program(
+        cls, program: "CliffordGateProgram", indices
+    ) -> "BatchedCliffordTableau":
+        """Evolve ``|0...0>`` batches through a compiled Clifford program.
+
+        ``indices`` is an ``(batch, num_parameters)`` integer matrix of
+        Clifford rotation indices (a single vector is treated as a batch of
+        one).
+        """
+        indices = np.atleast_2d(np.asarray(indices, dtype=np.int64))
+        tableau = cls(indices.shape[0], program.num_qubits)
+        tableau.apply_program(program, indices)
+        return tableau
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def batch_size(self) -> int:
+        return self._batch
+
+    @property
+    def num_qubits(self) -> int:
+        return self._n
+
+    @property
+    def num_words(self) -> int:
+        return self._words
+
+    def symplectic_view(self) -> SymplecticView:
+        """All ``2n`` packed rows: ``(batch, 2n, words)`` words, ``(batch, 2n)`` signs."""
+        return SymplecticView(_readonly(self._x), _readonly(self._z), _readonly(self._r))
+
+    def stabilizer_block(self) -> SymplecticView:
+        """The stabilizer half (rows ``n..2n-1``) as a packed read-only view."""
+        n = self._n
+        return SymplecticView(
+            _readonly(self._x[:, n:]), _readonly(self._z[:, n:]), _readonly(self._r[:, n:])
+        )
+
+    def destabilizer_block(self) -> SymplecticView:
+        """The destabilizer half (rows ``0..n-1``) as a packed read-only view."""
+        n = self._n
+        return SymplecticView(
+            _readonly(self._x[:, :n]), _readonly(self._z[:, :n]), _readonly(self._r[:, :n])
+        )
+
+    def copy(self) -> "BatchedCliffordTableau":
+        return BatchedCliffordTableau._from_arrays(
+            self._x.copy(), self._z.copy(), self._r.copy()
+        )
+
+    def extract(self, index: int) -> "CliffordTableau":
+        """A standalone single-state tableau copied from batch element ``index``."""
+        if not 0 <= index < self._batch:
+            raise SimulationError(f"batch index {index} out of range for {self._batch}")
+        sliced = BatchedCliffordTableau._from_arrays(
+            self._x[index : index + 1].copy(),
+            self._z[index : index + 1].copy(),
+            self._r[index : index + 1].copy(),
+        )
+        return CliffordTableau._wrap(sliced)
+
+    def __len__(self) -> int:
+        return self._batch
+
+    def __getitem__(self, index: int) -> "CliffordTableau":
+        return self.extract(index)
+
+    def __repr__(self) -> str:
+        return f"BatchedCliffordTableau({self._batch} x {self._n} qubits)"
+
+    # ------------------------------------------------------------------ #
+    # primitive gate updates (vectorized over batch x rows)
+    # ------------------------------------------------------------------ #
+    def _check_qubit(self, qubit: int) -> None:
+        if not 0 <= qubit < self._n:
+            raise SimulationError(f"qubit {qubit} out of range for {self._n} qubits")
+
+    def _mask_bits(self, mask) -> Optional[np.ndarray]:
+        if mask is None:
+            return None
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._batch,):
+            raise SimulationError(
+                f"mask shape {mask.shape} does not match batch size {self._batch}"
+            )
+        return mask.astype(np.uint64)[:, None]
+
+    def _column(self, array: np.ndarray, qubit: int) -> tuple[np.ndarray, np.uint64, int]:
+        word, offset = divmod(qubit, WORD_BITS)
+        return (array[:, :, word] >> np.uint64(offset)) & _ONE, np.uint64(offset), word
+
+    def apply_h(self, qubit: int, mask=None) -> None:
+        """Hadamard: X <-> Z, sign flips when the row carries Y on the qubit."""
+        self._check_qubit(qubit)
+        x, offset, word = self._column(self._x, qubit)
+        z, _, _ = self._column(self._z, qubit)
+        flip = x & z
+        swap = x ^ z
+        bits = self._mask_bits(mask)
+        if bits is not None:
+            flip &= bits
+            swap &= bits
+        self._r ^= flip.astype(bool)
+        self._x[:, :, word] ^= swap << offset
+        self._z[:, :, word] ^= swap << offset
+
+    def apply_s(self, qubit: int, mask=None) -> None:
+        """Phase gate: X -> Y, sign flips when the row carries Y on the qubit."""
+        self._check_qubit(qubit)
+        x, offset, word = self._column(self._x, qubit)
+        z, _, _ = self._column(self._z, qubit)
+        bits = self._mask_bits(mask)
+        if bits is not None:
+            x = x & bits
+        self._r ^= (x & z).astype(bool)
+        self._z[:, :, word] ^= x << offset
+
+    def apply_cx(self, control: int, target: int, mask=None) -> None:
+        """CNOT from ``control`` to ``target``."""
+        self._check_qubit(control)
+        self._check_qubit(target)
+        if control == target:
+            raise SimulationError("CX control and target must differ")
+        xc, c_offset, c_word = self._column(self._x, control)
+        zc, _, _ = self._column(self._z, control)
+        xt, t_offset, t_word = self._column(self._x, target)
+        zt, _, _ = self._column(self._z, target)
+        flip = xc & zt & (xt ^ zc ^ _ONE)
+        bits = self._mask_bits(mask)
+        if bits is not None:
+            flip &= bits
+            xc = xc & bits
+            zt = zt & bits
+        self._r ^= flip.astype(bool)
+        self._x[:, :, t_word] ^= xc << t_offset
+        self._z[:, :, c_word] ^= zt << c_offset
+
+    def apply_x(self, qubit: int, mask=None) -> None:
+        """Pauli X: flips the sign of rows carrying Z or Y on the qubit."""
+        self._check_qubit(qubit)
+        z, _, _ = self._column(self._z, qubit)
+        bits = self._mask_bits(mask)
+        if bits is not None:
+            z = z & bits
+        self._r ^= z.astype(bool)
+
+    def apply_z(self, qubit: int, mask=None) -> None:
+        """Pauli Z: flips the sign of rows carrying X or Y on the qubit."""
+        self._check_qubit(qubit)
+        x, _, _ = self._column(self._x, qubit)
+        bits = self._mask_bits(mask)
+        if bits is not None:
+            x = x & bits
+        self._r ^= x.astype(bool)
+
+    def apply_y(self, qubit: int, mask=None) -> None:
+        """Pauli Y: flips the sign of rows carrying X or Z (not Y) on the qubit."""
+        self._check_qubit(qubit)
+        x, _, _ = self._column(self._x, qubit)
+        z, _, _ = self._column(self._z, qubit)
+        flip = x ^ z
+        bits = self._mask_bits(mask)
+        if bits is not None:
+            flip &= bits
+        self._r ^= flip.astype(bool)
+
+    def apply_sdg(self, qubit: int, mask=None) -> None:
+        self.apply_z(qubit, mask)
+        self.apply_s(qubit, mask)
+
+    def apply_sx(self, qubit: int, mask=None) -> None:
+        """sqrt(X) = H S H up to global phase."""
+        self.apply_h(qubit, mask)
+        self.apply_s(qubit, mask)
+        self.apply_h(qubit, mask)
+
+    def apply_sxdg(self, qubit: int, mask=None) -> None:
+        self.apply_h(qubit, mask)
+        self.apply_sdg(qubit, mask)
+        self.apply_h(qubit, mask)
+
+    def apply_cz(self, control: int, target: int, mask=None) -> None:
+        self.apply_h(target, mask)
+        self.apply_cx(control, target, mask)
+        self.apply_h(target, mask)
+
+    def apply_swap(self, qubit_a: int, qubit_b: int, mask=None) -> None:
+        self.apply_cx(qubit_a, qubit_b, mask)
+        self.apply_cx(qubit_b, qubit_a, mask)
+        self.apply_cx(qubit_a, qubit_b, mask)
+
+    # ------------------------------------------------------------------ #
+    # generic gate / rotation / program dispatch
+    # ------------------------------------------------------------------ #
+    def apply_gate(self, gate: Gate, mask=None) -> None:
+        """Apply any Clifford gate to the whole batch; raises for non-Clifford."""
+        name = gate.name
+        if name == "id":
+            return
+        if name in ("t", "tdg"):
+            raise SimulationError("T gates are not Clifford; use repro.cliffordt")
+        if name in ("rx", "ry", "rz"):
+            theta = float(gate.parameter)
+            try:
+                index = clifford_index_from_angle(theta)
+            except Exception as error:
+                raise SimulationError(
+                    f"{name}({theta}) is not a Clifford rotation; CAFQA only searches "
+                    "multiples of pi/2"
+                ) from error
+            self._apply_rotation_index(name, index, gate.qubits[0], mask)
+            return
+        if name in ("cx", "cz", "swap"):
+            getattr(self, f"apply_{name}")(*gate.qubits, mask=mask)
+            return
+        if name in ("x", "y", "z", "h", "s", "sdg", "sx", "sxdg"):
+            getattr(self, f"apply_{name}")(gate.qubits[0], mask=mask)
+            return
+        raise SimulationError(f"gate {name!r} is not supported by the stabilizer backend")
+
+    def _apply_rotation_index(self, name: str, index: int, qubit: int, mask=None) -> None:
+        if index == 0:
+            return
+        for operation in _ROTATION_SEQUENCES[name][index]:
+            getattr(self, f"apply_{operation}")(qubit, mask=mask)
+
+    def apply_rotation(self, name: str, qubit: int, indices) -> None:
+        """Apply a rotation gate with a per-batch-element Clifford index.
+
+        ``indices`` has shape ``(batch,)`` with entries in ``{0, 1, 2, 3}``
+        (index ``k`` meaning angle ``k * pi/2``).  The update is fused: each
+        rotation family has a closed-form truth table over the qubit's
+        ``(x, z)`` column bits, so all four index values are applied in one
+        vectorized pass instead of per-index masked gate decompositions.
+        """
+        if name not in _ROTATION_SEQUENCES:
+            raise SimulationError(f"unknown rotation gate {name!r}")
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.shape != (self._batch,):
+            raise SimulationError(
+                f"expected {self._batch} rotation indices, got shape {indices.shape}"
+            )
+        if np.any((indices < 0) | (indices > 3)):
+            raise SimulationError("Clifford rotation indices must be in 0..3")
+        self._check_qubit(qubit)
+        x, offset, word = self._column(self._x, qubit)
+        z, _, _ = self._column(self._z, qubit)
+        # Per-batch-element selector bits for each quarter-turn count.
+        k1 = (indices == 1).astype(np.uint64)[:, None]
+        k2 = (indices == 2).astype(np.uint64)[:, None]
+        k3 = (indices == 3).astype(np.uint64)[:, None]
+        if name == "rz":
+            # S / Z / Sdg: z ^= x for odd k; flip = x&z, x, x&~z for k=1,2,3.
+            flip = (k1 & x & z) | (k2 & x) | (k3 & x & (z ^ _ONE))
+            self._z[:, :, word] ^= (x & (k1 | k3)) << offset
+        elif name == "rx":
+            # SX / X / SXdg: x ^= z for odd k; flip = z&~x, z, x&z for k=1,2,3.
+            flip = (k1 & z & (x ^ _ONE)) | (k2 & z) | (k3 & x & z)
+            self._x[:, :, word] ^= (z & (k1 | k3)) << offset
+        else:  # ry
+            # (H.X) / Y / (X.H): x <-> z for odd k; flip = x&~z, x^z, z&~x.
+            flip = (k1 & x & (z ^ _ONE)) | (k2 & (x ^ z)) | (k3 & z & (x ^ _ONE))
+            swap = (x ^ z) & (k1 | k3)
+            self._x[:, :, word] ^= swap << offset
+            self._z[:, :, word] ^= swap << offset
+        self._r ^= flip.astype(bool)
+
+    def apply_program(self, program: "CliffordGateProgram", indices) -> None:
+        """Run a compiled Clifford gate program on the whole batch."""
+        if program.num_qubits != self._n:
+            raise SimulationError("program and tableau act on different qubit counts")
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.shape != (self._batch, program.num_parameters):
+            raise SimulationError(
+                f"expected a ({self._batch}, {program.num_parameters}) index matrix, "
+                f"got shape {indices.shape}"
+            )
+        if program.num_parameters and np.any((indices < 0) | (indices > 3)):
+            raise SimulationError("Clifford rotation indices must be in 0..3")
+        for op in program.ops:
+            if op.parameter_index is not None:
+                self.apply_rotation(op.name, op.qubits[0], indices[:, op.parameter_index])
+            elif op.fixed_index is not None:
+                self._apply_rotation_index(op.name, op.fixed_index, op.qubits[0], None)
+            elif op.name in ("cx", "cz", "swap"):
+                getattr(self, f"apply_{op.name}")(*op.qubits)
+            else:
+                getattr(self, f"apply_{op.name}")(op.qubits[0])
+
+    # ------------------------------------------------------------------ #
+    # expectation values
+    # ------------------------------------------------------------------ #
+    def expectations(self, pauli: Pauli) -> np.ndarray:
+        """Per-batch-element expectation of a Pauli string: ``(batch,)`` int8."""
+        if pauli.num_qubits != self._n:
+            raise SimulationError("Pauli and tableau act on different qubit counts")
+        if pauli.is_identity():
+            return np.ones(self._batch, dtype=np.int8)
+        term_x = pack_bits(pauli.x)[None]
+        term_z = pack_bits(pauli.z)[None]
+        stab = self.stabilizer_block()
+        destab = self.destabilizer_block()
+        return stabilizer_expectations(
+            stab.x, stab.z, stab.r, destab.x, destab.z, term_x, term_z
+        )[:, 0]
 
 
 class CliffordTableau:
-    """Stabilizer tableau for an ``n``-qubit state, initialized to ``|0...0>``."""
+    """Stabilizer tableau for an ``n``-qubit state, initialized to ``|0...0>``.
+
+    A thin single-state wrapper over :class:`BatchedCliffordTableau` (a batch
+    of one) so that the gate update and expectation kernels exist exactly
+    once, in packed-word form.
+    """
 
     def __init__(self, num_qubits: int):
         if num_qubits < 1:
             raise SimulationError("tableau needs at least one qubit")
-        self._n = int(num_qubits)
-        n = self._n
-        self._x = np.zeros((2 * n, n), dtype=bool)
-        self._z = np.zeros((2 * n, n), dtype=bool)
-        self._r = np.zeros(2 * n, dtype=bool)
-        # Destabilizers start as X_i, stabilizers as Z_i.
-        for i in range(n):
-            self._x[i, i] = True
-            self._z[n + i, i] = True
+        self._batched = BatchedCliffordTableau(1, num_qubits)
+
+    @classmethod
+    def _wrap(cls, batched: BatchedCliffordTableau) -> "CliffordTableau":
+        tableau = cls.__new__(cls)
+        tableau._batched = batched
+        return tableau
 
     # ------------------------------------------------------------------ #
     # accessors
     # ------------------------------------------------------------------ #
     @property
     def num_qubits(self) -> int:
-        return self._n
+        return self._batched.num_qubits
+
+    @property
+    def num_words(self) -> int:
+        return self._batched.num_words
+
+    def symplectic_view(self) -> SymplecticView:
+        """All ``2n`` packed rows: ``(2n, words)`` uint64 plus ``(2n,)`` signs."""
+        view = self._batched.symplectic_view()
+        return SymplecticView(view.x[0], view.z[0], view.r[0])
+
+    def stabilizer_block(self) -> SymplecticView:
+        """Packed stabilizer generators: ``(n, words)`` words plus ``(n,)`` signs."""
+        view = self._batched.stabilizer_block()
+        return SymplecticView(view.x[0], view.z[0], view.r[0])
+
+    def destabilizer_block(self) -> SymplecticView:
+        """Packed destabilizer rows: ``(n, words)`` words plus ``(n,)`` signs."""
+        view = self._batched.destabilizer_block()
+        return SymplecticView(view.x[0], view.z[0], view.r[0])
 
     def stabilizer_row(self, index: int) -> tuple[np.ndarray, np.ndarray, bool]:
-        """(x, z, sign bit) of stabilizer generator ``index``."""
-        n = self._n
-        return self._x[n + index].copy(), self._z[n + index].copy(), bool(self._r[n + index])
+        """(x, z, sign bit) of stabilizer generator ``index``, as bool vectors."""
+        n = self.num_qubits
+        block = self._batched.stabilizer_block()
+        return (
+            unpack_bits(block.x[0, index], n),
+            unpack_bits(block.z[0, index], n),
+            bool(block.r[0, index]),
+        )
 
     def stabilizer_labels(self) -> list[str]:
         """Human-readable stabilizer generators, e.g. ``['+ZI', '-IZ']``."""
         labels = []
-        for i in range(self._n):
+        for i in range(self.num_qubits):
             x, z, sign = self.stabilizer_row(i)
             pauli = Pauli.from_xz(x, z, 0)
             prefix = "-" if sign else "+"
@@ -60,218 +482,54 @@ class CliffordTableau:
         return labels
 
     def copy(self) -> "CliffordTableau":
-        duplicate = CliffordTableau(self._n)
-        duplicate._x = self._x.copy()
-        duplicate._z = self._z.copy()
-        duplicate._r = self._r.copy()
-        return duplicate
+        return CliffordTableau._wrap(self._batched.copy())
 
     # ------------------------------------------------------------------ #
-    # primitive gate updates (vectorized over all rows)
+    # gate updates (delegated to the batched engine)
     # ------------------------------------------------------------------ #
     def apply_h(self, qubit: int) -> None:
-        """Hadamard: X <-> Z, sign flips when the row carries Y on the qubit."""
-        self._check_qubit(qubit)
-        x, z = self._x[:, qubit].copy(), self._z[:, qubit].copy()
-        self._r ^= x & z
-        self._x[:, qubit], self._z[:, qubit] = z, x
+        self._batched.apply_h(qubit)
 
     def apply_s(self, qubit: int) -> None:
-        """Phase gate: X -> Y, sign flips when the row carries Y on the qubit."""
-        self._check_qubit(qubit)
-        x, z = self._x[:, qubit], self._z[:, qubit]
-        self._r ^= x & z
-        self._z[:, qubit] = z ^ x
+        self._batched.apply_s(qubit)
 
     def apply_cx(self, control: int, target: int) -> None:
-        """CNOT from ``control`` to ``target``."""
-        self._check_qubit(control)
-        self._check_qubit(target)
-        if control == target:
-            raise SimulationError("CX control and target must differ")
-        xc, zc = self._x[:, control], self._z[:, control]
-        xt, zt = self._x[:, target], self._z[:, target]
-        self._r ^= xc & zt & (xt ^ zc ^ True)
-        self._x[:, target] = xt ^ xc
-        self._z[:, control] = zc ^ zt
+        self._batched.apply_cx(control, target)
 
     def apply_x(self, qubit: int) -> None:
-        """Pauli X: flips the sign of rows carrying Z or Y on the qubit."""
-        self._check_qubit(qubit)
-        self._r ^= self._z[:, qubit]
-
-    def apply_z(self, qubit: int) -> None:
-        """Pauli Z: flips the sign of rows carrying X or Y on the qubit."""
-        self._check_qubit(qubit)
-        self._r ^= self._x[:, qubit]
+        self._batched.apply_x(qubit)
 
     def apply_y(self, qubit: int) -> None:
-        """Pauli Y: flips the sign of rows carrying X or Z (not Y) on the qubit."""
-        self._check_qubit(qubit)
-        self._r ^= self._x[:, qubit] ^ self._z[:, qubit]
+        self._batched.apply_y(qubit)
+
+    def apply_z(self, qubit: int) -> None:
+        self._batched.apply_z(qubit)
 
     def apply_sdg(self, qubit: int) -> None:
-        self.apply_z(qubit)
-        self.apply_s(qubit)
+        self._batched.apply_sdg(qubit)
 
     def apply_sx(self, qubit: int) -> None:
-        """sqrt(X) = H S H up to global phase."""
-        self.apply_h(qubit)
-        self.apply_s(qubit)
-        self.apply_h(qubit)
+        self._batched.apply_sx(qubit)
 
     def apply_sxdg(self, qubit: int) -> None:
-        self.apply_h(qubit)
-        self.apply_sdg(qubit)
-        self.apply_h(qubit)
+        self._batched.apply_sxdg(qubit)
 
     def apply_cz(self, control: int, target: int) -> None:
-        self.apply_h(target)
-        self.apply_cx(control, target)
-        self.apply_h(target)
+        self._batched.apply_cz(control, target)
 
     def apply_swap(self, qubit_a: int, qubit_b: int) -> None:
-        self.apply_cx(qubit_a, qubit_b)
-        self.apply_cx(qubit_b, qubit_a)
-        self.apply_cx(qubit_a, qubit_b)
+        self._batched.apply_swap(qubit_a, qubit_b)
 
-    # ------------------------------------------------------------------ #
-    # generic gate dispatch
-    # ------------------------------------------------------------------ #
     def apply_gate(self, gate: Gate) -> None:
         """Apply any Clifford gate; raises for non-Clifford gates."""
-        name = gate.name
-        if name == "id":
-            return
-        if name in ("t", "tdg"):
-            raise SimulationError("T gates are not Clifford; use repro.cliffordt")
-        if name in ("rx", "ry", "rz"):
-            self._apply_clifford_rotation(name, float(gate.parameter), gate.qubits[0])
-            return
-        handlers = {
-            "x": self.apply_x,
-            "y": self.apply_y,
-            "z": self.apply_z,
-            "h": self.apply_h,
-            "s": self.apply_s,
-            "sdg": self.apply_sdg,
-            "sx": self.apply_sx,
-            "sxdg": self.apply_sxdg,
-        }
-        if name in handlers:
-            handlers[name](gate.qubits[0])
-            return
-        if name == "cx":
-            self.apply_cx(*gate.qubits)
-            return
-        if name == "cz":
-            self.apply_cz(*gate.qubits)
-            return
-        if name == "swap":
-            self.apply_swap(*gate.qubits)
-            return
-        raise SimulationError(f"gate {name!r} is not supported by the stabilizer backend")
-
-    def _apply_clifford_rotation(self, name: str, theta: float, qubit: int) -> None:
-        """Rotation gates at multiples of pi/2, decomposed into Clifford generators."""
-        try:
-            index = clifford_index_from_angle(theta)
-        except Exception as error:
-            raise SimulationError(
-                f"{name}({theta}) is not a Clifford rotation; CAFQA only searches "
-                "multiples of pi/2"
-            ) from error
-        if index == 0:
-            return
-        if name == "rz":
-            sequence = {1: [self.apply_s], 2: [self.apply_z], 3: [self.apply_sdg]}[index]
-        elif name == "rx":
-            sequence = {1: [self.apply_sx], 2: [self.apply_x], 3: [self.apply_sxdg]}[index]
-        else:  # ry
-            if index == 1:
-                # RY(pi/2) = X . H up to global phase (apply H first, then X).
-                sequence = [self.apply_h, self.apply_x]
-            elif index == 2:
-                sequence = [self.apply_y]
-            else:
-                # RY(3pi/2) = H . X up to global phase (apply X first, then H).
-                sequence = [self.apply_x, self.apply_h]
-        for operation in sequence:
-            operation(qubit)
+        self._batched.apply_gate(gate)
 
     # ------------------------------------------------------------------ #
     # expectation values
     # ------------------------------------------------------------------ #
     def expectation(self, pauli: Pauli) -> int:
         """Exact expectation of a (phase-free) Pauli string: always -1, 0, or +1."""
-        if pauli.num_qubits != self._n:
-            raise SimulationError("Pauli and tableau act on different qubit counts")
-        if pauli.is_identity():
-            return 1
-        n = self._n
-        px = pauli.x
-        pz = pauli.z
-        # Anticommutation with each stabilizer row (vectorized).
-        stab_x = self._x[n:]
-        stab_z = self._z[n:]
-        anti = (np.sum(stab_x & pz[None, :], axis=1) + np.sum(stab_z & px[None, :], axis=1)) % 2
-        if np.any(anti):
-            return 0
-        # P commutes with the full stabilizer group, so +/-P is a stabilizer.
-        # Its decomposition over the generators is read off the destabilizers:
-        # generator i participates iff P anticommutes with destabilizer i.
-        destab_x = self._x[:n]
-        destab_z = self._z[:n]
-        participates = (
-            np.sum(destab_x & pz[None, :], axis=1) + np.sum(destab_z & px[None, :], axis=1)
-        ) % 2
-        acc_x = np.zeros(n, dtype=bool)
-        acc_z = np.zeros(n, dtype=bool)
-        phase = 0  # accumulated phase exponent of i, mod 4
-        for i in np.nonzero(participates)[0]:
-            row = n + int(i)
-            phase += 2 * int(self._r[row])
-            phase += _product_phase(acc_x, acc_z, self._x[row], self._z[row])
-            acc_x ^= self._x[row]
-            acc_z ^= self._z[row]
-            phase %= 4
-        if not (np.array_equal(acc_x, px) and np.array_equal(acc_z, pz)):
-            raise SimulationError("internal error: stabilizer decomposition mismatch")
-        if phase == 0:
-            return 1
-        if phase == 2:
-            return -1
-        raise SimulationError("internal error: non-Hermitian stabilizer product")
-
-    def _check_qubit(self, qubit: int) -> None:
-        if not 0 <= qubit < self._n:
-            raise SimulationError(f"qubit {qubit} out of range for {self._n} qubits")
+        return int(self._batched.expectations(pauli)[0])
 
     def __repr__(self) -> str:
-        return f"CliffordTableau({self._n} qubits)"
-
-
-def _product_phase(x1: np.ndarray, z1: np.ndarray, x2: np.ndarray, z2: np.ndarray) -> int:
-    """Phase exponent (power of i, mod 4) from multiplying row1 by row2.
-
-    This is the sum over qubits of Aaronson–Gottesman's ``g`` function, which
-    gives the power of ``i`` produced when the single-qubit Paulis of row1 and
-    row2 are multiplied in that order.
-    """
-    x1i = x1.astype(np.int8)
-    z1i = z1.astype(np.int8)
-    x2i = x2.astype(np.int8)
-    z2i = z2.astype(np.int8)
-    # g per qubit:
-    #   row1 = I: 0
-    #   row1 = Y: z2 - x2
-    #   row1 = X: z2 * (2*x2 - 1)
-    #   row1 = Z: x2 * (1 - 2*z2)
-    g = np.zeros(len(x1), dtype=np.int64)
-    is_y = (x1i == 1) & (z1i == 1)
-    is_x = (x1i == 1) & (z1i == 0)
-    is_z = (x1i == 0) & (z1i == 1)
-    g[is_y] = (z2i - x2i)[is_y]
-    g[is_x] = (z2i * (2 * x2i - 1))[is_x]
-    g[is_z] = (x2i * (1 - 2 * z2i))[is_z]
-    return int(np.sum(g)) % 4
+        return f"CliffordTableau({self.num_qubits} qubits)"

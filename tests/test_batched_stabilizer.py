@@ -1,0 +1,241 @@
+"""Tests for the bit-packed batched stabilizer engine.
+
+Two properties anchor the batched hot path:
+
+* packed single-state and batched tableau expectations agree exactly with
+  the dense statevector backend on random Clifford circuits, and
+* batched objective evaluation is bit-for-bit identical to the sequential
+  per-point loop (the search trajectory must not depend on batch size).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CliffordGateProgram, EfficientSU2Ansatz, QuantumCircuit
+from repro.circuits.clifford_points import bind_clifford_point, random_clifford_points
+from repro.core.objective import CliffordObjective
+from repro.core.search import coordinate_descent
+from repro.exceptions import SimulationError
+from repro.operators import Pauli, random_pauli
+from repro.stabilizer import (
+    BatchedCliffordTableau,
+    CliffordTableau,
+    StabilizerSimulator,
+    pack_bits,
+    pauli_product_phase,
+    unpack_bits,
+)
+from repro.statevector import StatevectorSimulator
+from tests.test_stabilizer import random_clifford_circuit
+
+
+class TestSymplecticHelpers:
+    @pytest.mark.parametrize("num_qubits", [1, 7, 63, 64, 65, 130])
+    def test_pack_unpack_roundtrip(self, num_qubits):
+        rng = np.random.default_rng(num_qubits)
+        bits = rng.random((5, num_qubits)) < 0.5
+        packed = pack_bits(bits)
+        assert packed.dtype == np.uint64
+        assert packed.shape == (5, (num_qubits + 63) // 64)
+        assert np.array_equal(unpack_bits(packed, num_qubits), bits)
+
+    def test_swar_popcount_fallback_matches(self):
+        from repro.stabilizer.symplectic import _popcount_swar
+
+        rng = np.random.default_rng(9)
+        words = rng.integers(0, 2**64, size=64, dtype=np.uint64)
+        words = np.concatenate([words, [np.uint64(0), np.uint64(2**64 - 1)]])
+        expected = np.array([bin(int(w)).count("1") for w in words])
+        assert np.array_equal(_popcount_swar(words).astype(int), expected)
+
+    def test_product_phase_matches_pauli_compose(self):
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            num_qubits = int(rng.integers(1, 9))
+            first = random_pauli(num_qubits, rng)
+            second = random_pauli(num_qubits, rng)
+            phase = pauli_product_phase(
+                pack_bits(first.x), pack_bits(first.z),
+                pack_bits(second.x), pack_bits(second.z),
+            )
+            assert 1j ** int(phase) == (first @ second).phase
+
+
+class TestPackedAgainstStatevector:
+    def test_200_random_circuits_match_statevector(self):
+        """Packed single + batched tableaux vs dense statevector, ~200 circuits."""
+        rng = np.random.default_rng(2023)
+        simulator = StabilizerSimulator()
+        for trial in range(200):
+            num_qubits = int(rng.integers(1, 9))
+            circuit = random_clifford_circuit(num_qubits, int(rng.integers(5, 30)), rng)
+            tableau = simulator.run(circuit)
+            program = CliffordGateProgram.compile(circuit)
+            batched = BatchedCliffordTableau.from_program(
+                program, np.zeros((3, 0), dtype=np.int64)
+            )
+            state = StatevectorSimulator().run(circuit)
+            for _ in range(3):
+                pauli = random_pauli(num_qubits, rng)
+                exact = float(np.real(state.expectation(pauli)))
+                assert tableau.expectation(pauli) == pytest.approx(exact, abs=1e-9)
+                values = batched.expectations(pauli)
+                assert values.shape == (3,)
+                assert np.all(values == tableau.expectation(pauli))
+
+    def test_batched_rotation_indices_match_per_point_runs(self):
+        """Masked per-batch-element rotations vs one bound circuit per point."""
+        rng = np.random.default_rng(7)
+        simulator = StabilizerSimulator()
+        for num_qubits in (2, 3, 5):
+            ansatz = EfficientSU2Ansatz(num_qubits, reps=2)
+            program = CliffordGateProgram.from_ansatz(ansatz)
+            indices = rng.integers(0, 4, size=(16, ansatz.num_parameters))
+            batched = BatchedCliffordTableau.from_program(program, indices)
+            paulis = [random_pauli(num_qubits, rng) for _ in range(4)]
+            for position in range(indices.shape[0]):
+                reference = simulator.run(
+                    bind_clifford_point(ansatz, indices[position])
+                )
+                for pauli in paulis:
+                    assert batched.expectations(pauli)[position] == reference.expectation(
+                        pauli
+                    )
+
+
+class TestBatchedTableauApi:
+    def test_single_vector_is_batch_of_one(self):
+        ansatz = EfficientSU2Ansatz(2, reps=1)
+        program = CliffordGateProgram.from_ansatz(ansatz)
+        point = [1] * ansatz.num_parameters
+        batched = BatchedCliffordTableau.from_program(program, point)
+        assert batched.batch_size == 1
+
+    def test_simulator_run_program_matches_run(self):
+        rng = np.random.default_rng(5)
+        ansatz = EfficientSU2Ansatz(3, reps=1)
+        program = CliffordGateProgram.from_ansatz(ansatz)
+        indices = rng.integers(0, 4, size=(4, ansatz.num_parameters))
+        simulator = StabilizerSimulator()
+        batched = simulator.run_program(program, indices)
+        assert batched.batch_size == 4
+        pauli = random_pauli(3, rng)
+        for position in range(4):
+            reference = simulator.run(bind_clifford_point(ansatz, indices[position]))
+            assert batched.expectations(pauli)[position] == reference.expectation(pauli)
+
+    def test_extract_is_independent_copy(self):
+        batched = BatchedCliffordTableau(2, 1)
+        single = batched.extract(0)
+        single.apply_x(0)
+        assert single.expectation(Pauli("Z")) == -1
+        assert batched.expectations(Pauli("Z"))[0] == 1
+
+    def test_views_are_readonly(self):
+        tableau = CliffordTableau(2)
+        view = tableau.symplectic_view()
+        with pytest.raises(ValueError):
+            view.x[0, 0] = 1
+        block = BatchedCliffordTableau(2, 2).stabilizer_block()
+        with pytest.raises(ValueError):
+            block.r[0, 0] = True
+
+    def test_multiword_ghz_state(self):
+        """A 70-qubit GHZ crosses the 64-bit word boundary."""
+        num_qubits = 70
+        tableau = CliffordTableau(num_qubits)
+        tableau.apply_h(0)
+        for qubit in range(1, num_qubits):
+            tableau.apply_cx(qubit - 1, qubit)
+        assert tableau.expectation(Pauli("X" * num_qubits)) == 1
+        assert tableau.expectation(Pauli("Z" * num_qubits)) == (
+            1 if num_qubits % 2 == 0 else 0
+        )
+        assert tableau.expectation(Pauli.single(num_qubits, 69, "Z")) == 0
+        two_point = Pauli("Z" + "I" * 68 + "Z")
+        assert tableau.expectation(two_point) == 1
+
+    def test_index_matrix_validation(self):
+        ansatz = EfficientSU2Ansatz(2, reps=1)
+        program = CliffordGateProgram.from_ansatz(ansatz)
+        bad = np.full((2, ansatz.num_parameters), 5)
+        with pytest.raises(SimulationError):
+            BatchedCliffordTableau.from_program(program, bad)
+        with pytest.raises(SimulationError):
+            BatchedCliffordTableau.from_program(program, np.zeros((2, 3), dtype=int))
+
+    def test_mismatched_pauli_rejected(self):
+        batched = BatchedCliffordTableau(2, 2)
+        with pytest.raises(SimulationError):
+            batched.expectations(Pauli("XXX"))
+
+
+class TestBatchedObjectiveRegression:
+    """Batched and sequential objective evaluations agree bit-for-bit."""
+
+    def _assert_bitwise_equal(self, problem, num_points=48, seed=11):
+        ansatz = EfficientSU2Ansatz(problem.num_qubits, reps=1)
+        rng = np.random.default_rng(seed)
+        points = random_clifford_points(ansatz.num_parameters, num_points, rng)
+        sequential = CliffordObjective(problem, ansatz, penalty_weight=1.0, cache=False)
+        batched = CliffordObjective(problem, ansatz, penalty_weight=1.0, cache=False)
+        expected = np.array([sequential(point) for point in points])
+        actual = batched.evaluate_batch(points)
+        assert np.array_equal(expected, actual)  # bit-for-bit, not approx
+
+    def test_h2_bitwise(self, h2_problem):
+        self._assert_bitwise_equal(h2_problem)
+
+    def test_lih_bitwise(self, lih_problem):
+        self._assert_bitwise_equal(lih_problem)
+
+    def test_duplicates_and_cache_hits(self, h2_problem):
+        ansatz = EfficientSU2Ansatz(h2_problem.num_qubits, reps=1)
+        objective = CliffordObjective(h2_problem, ansatz, penalty_weight=1.0)
+        point = [1] * ansatz.num_parameters
+        other = [2] * ansatz.num_parameters
+        single = objective(point)
+        values = objective.evaluate_batch([point, other, point])
+        assert values[0] == single and values[2] == single
+        assert values[1] == objective(other)
+
+    def test_shared_tableau_across_energy_and_terms(self, h2_problem):
+        ansatz = EfficientSU2Ansatz(h2_problem.num_qubits, reps=1)
+        objective = CliffordObjective(h2_problem, ansatz, penalty_weight=1.0)
+        point = [0, 2] * (ansatz.num_parameters // 2) + [0] * (
+            ansatz.num_parameters % 2
+        )
+        objective(point)
+        simulations = objective.num_evaluations
+        objective.energy(point)
+        objective.term_expectations(point)
+        assert objective.num_evaluations == simulations  # tableau reused, not re-run
+
+    def test_coordinate_descent_batched_matches_sequential(self, h2_problem):
+        ansatz = EfficientSU2Ansatz(h2_problem.num_qubits, reps=1)
+        batched = CliffordObjective(h2_problem, ansatz, penalty_weight=1.0)
+
+        class Sequential:
+            """The same objective with evaluate_batch hidden."""
+
+            def __init__(self, inner):
+                self._inner = inner
+
+            def __call__(self, point):
+                return self._inner(point)
+
+        start = [0] * ansatz.num_parameters
+        reference = coordinate_descent(
+            Sequential(
+                CliffordObjective(h2_problem, ansatz, penalty_weight=1.0)
+            ),
+            start,
+            cardinality=4,
+            max_sweeps=3,
+        )
+        fast = coordinate_descent(batched, start, cardinality=4, max_sweeps=3)
+        assert fast[0] == reference[0]
+        assert fast[1] == reference[1]
+        assert [(o.point, o.value, o.iteration) for o in fast[2]] == [
+            (o.point, o.value, o.iteration) for o in reference[2]
+        ]

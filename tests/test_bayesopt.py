@@ -189,3 +189,49 @@ class TestBayesianOptimizer:
         assert space.contains(result.best_point)
         for observation in result.observations:
             assert space.contains(observation.point)
+
+
+class _BatchedQuadratic:
+    """Quadratic objective exposing the evaluate_batch protocol."""
+
+    def __init__(self):
+        self.batch_calls = 0
+
+    def __call__(self, point):
+        return TestBayesianOptimizer._quadratic(point)
+
+    def evaluate_batch(self, points):
+        self.batch_calls += 1
+        return np.array([self(point) for point in points], dtype=float)
+
+
+class TestBatchedObjectiveProtocol:
+    def test_batched_trajectory_matches_sequential(self):
+        """Warm-up/proposal batching must not change which points are visited."""
+        space = DiscreteSpace.clifford(4)
+        sequential = BayesianOptimizer(
+            space, warmup_evaluations=20, seed_points=[(0, 0, 1, 0)], seed=5
+        ).minimize(TestBayesianOptimizer._quadratic, max_evaluations=60)
+        batched_objective = _BatchedQuadratic()
+        batched = BayesianOptimizer(
+            space, warmup_evaluations=20, seed_points=[(0, 0, 1, 0)], seed=5
+        ).minimize(batched_objective, max_evaluations=60)
+        assert batched_objective.batch_calls > 0
+        assert batched.best_point == sequential.best_point
+        assert batched.best_value == sequential.best_value
+        assert [(o.point, o.value, o.phase) for o in batched.observations] == [
+            (o.point, o.value, o.phase) for o in sequential.observations
+        ]
+
+    def test_proposal_batch_finds_optimum(self):
+        space = DiscreteSpace.clifford(4)
+        optimizer = BayesianOptimizer(
+            space, warmup_evaluations=30, proposal_batch=5, refit_interval=5, seed=0
+        )
+        result = optimizer.minimize(_BatchedQuadratic(), max_evaluations=120)
+        assert result.best_value == pytest.approx(0.0)
+        assert result.num_iterations <= 120
+
+    def test_proposal_batch_validation(self):
+        with pytest.raises(OptimizationError):
+            BayesianOptimizer(DiscreteSpace.clifford(2), proposal_batch=0)
