@@ -1,0 +1,123 @@
+"""Perf benchmark: 8 sequential CAFQA restarts vs the sharded orchestrator.
+
+Runs the paper-style best-of-8-seeds H2 search two ways:
+
+* ``sequential``: eight independent ``CafqaSearch`` runs in this process,
+  one after another (the pre-orchestrator workflow), and
+* ``orchestrated``: the same eight restart seeds sharded across 4 worker
+  processes by ``SearchOrchestrator``.
+
+Both paths use the identical per-restart seeds, so they must find identical
+per-seed energies — the speedup is pure orchestration.  A third timed leg
+re-runs the orchestrator against its checkpoint directory and asserts the
+resumed best energy matches the uninterrupted one exactly.
+
+Writes ``BENCH_orchestrator.json`` at the repo root.  Skipped unless
+``REPRO_BENCH=1``.  The >=2.5x speedup gate only applies on machines with at
+least 4 usable cores (process sharding cannot beat sequential on fewer); the
+measured numbers are recorded either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.chemistry import make_problem
+from repro.core import SearchOrchestrator, restart_seed
+from repro.core.search import CafqaSearch
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH") != "1",
+    reason="perf benchmark; set REPRO_BENCH=1 to run",
+)
+
+NUM_SEEDS = 8
+NUM_WORKERS = 4
+BASE_SEED = 0
+MAX_EVALUATIONS = 400
+ANSATZ_REPS = 2
+OUTPUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_orchestrator.json"
+
+
+def test_orchestrator_throughput_and_resume(tmp_path):
+    problem = make_problem("H2", 2.5)
+    seeds = [restart_seed(BASE_SEED, index) for index in range(NUM_SEEDS)]
+
+    start = time.perf_counter()
+    sequential = [
+        CafqaSearch(problem, ansatz_reps=ANSATZ_REPS, seed=seed).run(
+            max_evaluations=MAX_EVALUATIONS
+        )
+        for seed in seeds
+    ]
+    sequential_seconds = time.perf_counter() - start
+
+    orchestrator = SearchOrchestrator(
+        problem,
+        num_restarts=NUM_SEEDS,
+        max_workers=NUM_WORKERS,
+        seed=BASE_SEED,
+        ansatz_reps=ANSATZ_REPS,
+    )
+    checkpoint_dir = tmp_path / "checkpoints"
+    start = time.perf_counter()
+    orchestrated = orchestrator.run(
+        max_evaluations=MAX_EVALUATIONS, checkpoint_dir=checkpoint_dir
+    )
+    orchestrated_seconds = time.perf_counter() - start
+
+    # Same seeds => same per-restart results; the speedup is pure sharding.
+    for result, trace in zip(sequential, orchestrated.traces):
+        assert trace.energy == result.energy
+        assert trace.best_indices == result.best_indices
+
+    start = time.perf_counter()
+    resumed = SearchOrchestrator(
+        problem,
+        num_restarts=NUM_SEEDS,
+        max_workers=NUM_WORKERS,
+        seed=BASE_SEED,
+        ansatz_reps=ANSATZ_REPS,
+    ).run(max_evaluations=MAX_EVALUATIONS, checkpoint_dir=checkpoint_dir)
+    resumed_seconds = time.perf_counter() - start
+
+    # Checkpoint-resume must reproduce the uninterrupted best energy exactly.
+    assert resumed.best.energy == orchestrated.best.energy
+    assert resumed.best.best_indices == orchestrated.best.best_indices
+    assert all(trace.from_checkpoint for trace in resumed.traces)
+
+    speedup = sequential_seconds / orchestrated_seconds
+    cpus = os.cpu_count() or 1
+    payload = {
+        "benchmark": "orchestrator_multi_seed_throughput",
+        "molecule": "H2",
+        "num_seeds": NUM_SEEDS,
+        "num_workers": NUM_WORKERS,
+        "max_evaluations": MAX_EVALUATIONS,
+        "ansatz_reps": ANSATZ_REPS,
+        "cpu_count": cpus,
+        "sequential_seconds": round(sequential_seconds, 3),
+        "orchestrated_seconds": round(orchestrated_seconds, 3),
+        "resumed_seconds": round(resumed_seconds, 3),
+        "speedup": round(speedup, 2),
+        "resume_speedup": round(sequential_seconds / max(resumed_seconds, 1e-9), 2),
+        "best_energy": orchestrated.best.energy,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"sequential {sequential_seconds:.2f}s, orchestrated {orchestrated_seconds:.2f}s "
+        f"(speedup {speedup:.2f}x on {cpus} cpus), resume {resumed_seconds:.2f}s"
+    )
+
+    if cpus >= NUM_WORKERS:
+        assert speedup >= 2.5
+    else:
+        pytest.skip(
+            f"only {cpus} usable core(s): speedup gate needs >= {NUM_WORKERS}; "
+            f"measured {speedup:.2f}x recorded in {OUTPUT_PATH.name}"
+        )

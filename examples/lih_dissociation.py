@@ -6,7 +6,10 @@ and prints the three energy curves together with the error and the recovered
 correlation energy.  Expect CAFQA to track Hartree-Fock near equilibrium and
 to pull well below it (toward the exact curve) at stretched geometries.
 
-Run:  python examples/lih_dissociation.py [num_points] [search_budget]
+Run:  python examples/lih_dissociation.py [num_points] [search_budget] [num_seeds]
+
+With ``num_seeds > 1`` every bond length runs a best-of-N-restarts search
+sharded across worker processes (see examples/multi_seed_search.py).
 """
 
 import sys
@@ -17,13 +20,18 @@ from repro.core import AccuracySummary, dissociation_curve
 def main() -> None:
     num_points = int(sys.argv[1]) if len(sys.argv) > 1 else 4
     budget = int(sys.argv[2]) if len(sys.argv) > 2 else 250
+    num_seeds = int(sys.argv[3]) if len(sys.argv) > 3 else 1
 
     low, high = 1.2, 4.4
     bond_lengths = [round(low + i * (high - low) / (num_points - 1), 2) for i in range(num_points)]
-    print(f"LiH dissociation at {bond_lengths} A (search budget {budget} per point)")
+    print(
+        f"LiH dissociation at {bond_lengths} A "
+        f"(search budget {budget} per point, {num_seeds} restart(s))"
+    )
 
     evaluations = dissociation_curve(
-        "LiH", bond_lengths, max_evaluations=budget, seed=0, ansatz_reps=2
+        "LiH", bond_lengths, max_evaluations=budget, seed=0, ansatz_reps=2,
+        num_seeds=num_seeds,
     )
 
     header = f"{'R (A)':>6} {'HF':>12} {'CAFQA':>12} {'exact':>12} {'HF err':>10} {'CAFQA err':>10} {'corr %':>7}"

@@ -43,6 +43,14 @@ def main() -> None:
     print("The Clifford-initialized circuit (ready for VQE tuning on a device):")
     print(result.circuit.draw())
 
+    print("\nFor best-of-N-restart searches sharded across worker processes")
+    print("(with evaluation caching and checkpoint/resume), go through the")
+    print("orchestrator — see examples/multi_seed_search.py:")
+    print("    from repro.core import SearchOrchestrator")
+    print("    multi = SearchOrchestrator(problem, num_restarts=8, seed=0).run(")
+    print("        max_evaluations=150, checkpoint_dir='h2_checkpoints')")
+    print("    best = multi.best  # a CafqaResult, as above")
+
 
 if __name__ == "__main__":
     main()

@@ -129,6 +129,7 @@ class RandomForestRegressor:
         min_samples_leaf: int = 2,
         feature_fraction: float = 0.7,
         seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
     ):
         if num_trees < 1:
             raise OptimizationError("the forest needs at least one tree")
@@ -139,7 +140,10 @@ class RandomForestRegressor:
         self._min_samples_split = int(min_samples_split)
         self._min_samples_leaf = int(min_samples_leaf)
         self._feature_fraction = float(feature_fraction)
-        self._rng = np.random.default_rng(seed)
+        # An injected generator takes precedence over ``seed`` so callers can
+        # derive forests from a single owned RNG stream (the Bayesian
+        # optimizer does this per refit for decorrelated, reproducible fits).
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
         self._trees: List[DecisionTreeRegressor] = []
 
     @property

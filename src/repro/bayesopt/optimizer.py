@@ -87,6 +87,13 @@ class BayesianOptimizer:
     convergence_patience:
         Stop early when the best value has not improved for this many
         consecutive evaluations (None disables early stopping).
+    seed / rng:
+        ``rng`` injects the generator driving warm-up sampling, candidate
+        pools, and surrogate fits; when omitted one is created from ``seed``.
+        The optimizer owns no module-level random state, so two optimizers
+        built with the same seed (or generators with the same state) produce
+        bit-identical trajectories, and independent restarts can be driven
+        from spawned child generators.
     proposal_batch:
         Number of surrogate-guided candidates proposed *and evaluated as one
         batch* per round.  The default of 1 reproduces the classic
@@ -113,6 +120,7 @@ class BayesianOptimizer:
         refit_interval: int = 1,
         proposal_batch: int = 1,
         seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
     ):
         if warmup_evaluations < 1:
             raise OptimizationError("need at least one warm-up evaluation")
@@ -123,15 +131,13 @@ class BayesianOptimizer:
         self._space = space
         self._warmup = int(warmup_evaluations)
         self._pool_size = int(candidate_pool_size)
-        self._surrogate_factory = surrogate_factory or (
-            lambda: RandomForestRegressor(num_trees=12, max_depth=10, seed=seed)
-        )
+        self._surrogate_factory = surrogate_factory
         self._acquisition = acquisition or GreedyAcquisition()
         self._seed_points = [tuple(int(v) for v in p) for p in (seed_points or [])]
         self._patience = convergence_patience
         self._refit_interval = max(1, int(refit_interval))
         self._proposal_batch = int(proposal_batch)
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     # ------------------------------------------------------------------ #
     def minimize(
@@ -293,7 +299,18 @@ class BayesianOptimizer:
             training = list(observations)
         features = self._space.to_array([obs.point for obs in training])
         targets = np.array([obs.value for obs in training])
-        surrogate = self._surrogate_factory()
+        if self._surrogate_factory is not None:
+            surrogate = self._surrogate_factory()
+        else:
+            # Each refit draws a fresh child generator from the optimizer's
+            # stream: fits stay decorrelated across rounds (reseeding every
+            # forest identically would make refits reuse one bootstrap
+            # stream) while remaining a pure function of the injected RNG.
+            surrogate = RandomForestRegressor(
+                num_trees=12,
+                max_depth=10,
+                rng=np.random.default_rng(int(self._rng.integers(0, 2**63))),
+            )
         surrogate.fit(features, targets)
         return surrogate
 

@@ -16,6 +16,17 @@ from repro.core.metrics import (
     relative_accuracy,
 )
 from repro.core.objective import CliffordObjective
+from repro.core.orchestrator import (
+    CachedObjective,
+    EvaluationCache,
+    MultiSeedResult,
+    SearchOrchestrator,
+    SeedTrace,
+    ansatz_fingerprint,
+    hamiltonian_fingerprint,
+    objective_fingerprint,
+    restart_seed,
+)
 from repro.core.pipeline import (
     MoleculeEvaluation,
     curve_as_table,
@@ -48,6 +59,15 @@ __all__ = [
     "CafqaSearch",
     "CafqaResult",
     "run_cafqa",
+    "SearchOrchestrator",
+    "MultiSeedResult",
+    "SeedTrace",
+    "EvaluationCache",
+    "CachedObjective",
+    "hamiltonian_fingerprint",
+    "ansatz_fingerprint",
+    "objective_fingerprint",
+    "restart_seed",
     "VQERunner",
     "VQEResult",
     "CliffordTSearch",

@@ -178,6 +178,19 @@ class CliffordObjective:
         """Unconstrained Hamiltonian energy (no penalty terms) at a Clifford point."""
         return float(self._energy_evaluator.expectation(self.tableau(indices)))
 
+    def energy_batch(self, points: Sequence[Sequence[int]]) -> np.ndarray:
+        """Unconstrained Hamiltonian energies of many Clifford points at once.
+
+        One batched simulation for all distinct points; values match
+        :meth:`energy` exactly (same kernel, same reduction order).
+        """
+        keys = [self._key(point) for point in points]
+        distinct = list(dict.fromkeys(keys))
+        batched = self._simulate(distinct)
+        energies = self._energy_evaluator.expectation_batch(batched)
+        values = {key: float(energies[i]) for i, key in enumerate(distinct)}
+        return np.array([values[key] for key in keys], dtype=float)
+
     def term_expectations(self, indices: Sequence[int]) -> Dict[str, int]:
         """Per-Pauli-term expectations at a Clifford point (used by Fig. 6)."""
         values = self._energy_evaluator.term_expectations(self.tableau(indices))

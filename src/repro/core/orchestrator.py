@@ -1,0 +1,761 @@
+"""Parallel multi-seed CAFQA search orchestration with checkpoint/resume.
+
+The paper's accuracy numbers come from best-of-many-restart searches: each
+restart explores the Clifford space from a different random warm-up, and the
+best incumbent across restarts is reported.  :class:`SearchOrchestrator`
+shards those restarts across worker processes, deduplicates stabilizer
+evaluations through a process-safe :class:`EvaluationCache` keyed on
+``(objective fingerprint, Clifford index tuple)``, and merges the per-seed
+traces into a :class:`MultiSeedResult`.
+
+Checkpoint/resume works by replay-from-cache: every evaluated point is
+appended to an on-disk shard (one file per worker process, so concurrent
+writers never interleave), and each restart writes a JSON checkpoint after
+every BO round.  Because the search trajectory is a pure function of the
+restart seed and the observed values, re-running an interrupted restart with
+its evaluation shard loaded reproduces the identical trajectory while paying
+nothing for the already-simulated points; finished restarts are loaded
+straight from their checkpoint and not re-run at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, IO, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayesopt.optimizer import BayesianOptimizationResult, Observation
+from repro.chemistry.hamiltonian import MolecularProblem
+from repro.circuits.ansatz import EfficientSU2Ansatz
+from repro.circuits.clifford_points import (
+    CliffordGateProgram,
+    indices_to_angles,
+    validate_clifford_point,
+)
+from repro.core.objective import CliffordObjective
+from repro.core.search import CafqaResult, CafqaSearch
+from repro.exceptions import OptimizationError
+from repro.operators.pauli_sum import PauliSum
+
+Point = Tuple[int, ...]
+
+CHECKPOINT_FORMAT = 1
+
+# CafqaSearch keywords that configure the objective (consumed when the
+# orchestrator builds the objective itself) vs. the search loop (forwarded).
+_OBJECTIVE_OPTIONS = ("constraint", "spin_z_target", "penalty_weight")
+
+
+# --------------------------------------------------------------------------- #
+# fingerprints
+# --------------------------------------------------------------------------- #
+def hamiltonian_fingerprint(operator: PauliSum) -> str:
+    """Stable hex digest of a Pauli-sum operator (labels + coefficients)."""
+    digest = hashlib.sha256()
+    for term in sorted(operator.terms(), key=lambda t: t.label):
+        coefficient = complex(term.coefficient)
+        digest.update(
+            f"{term.label}:{coefficient.real!r}:{coefficient.imag!r};".encode()
+        )
+    return digest.hexdigest()[:16]
+
+
+def ansatz_fingerprint(ansatz: EfficientSU2Ansatz) -> str:
+    """Stable hex digest of the ansatz's compiled Clifford gate skeleton.
+
+    Hashing the flattened gate program (rather than constructor arguments)
+    makes the fingerprint a function of the circuit the evaluations actually
+    ran, so any ansatz producing the same program shares cache entries.
+    """
+    program = CliffordGateProgram.from_ansatz(ansatz)
+    digest = hashlib.sha256()
+    digest.update(f"{program.num_qubits}:{program.num_parameters};".encode())
+    for op in program.ops:
+        digest.update(
+            f"{op.name}:{op.qubits}:{op.parameter_index}:{op.fixed_index};".encode()
+        )
+    return digest.hexdigest()[:16]
+
+
+def objective_fingerprint(objective: CliffordObjective) -> str:
+    """Cache key prefix for an objective's *constrained* evaluations."""
+    return f"{hamiltonian_fingerprint(objective.operator)}-{ansatz_fingerprint(objective.ansatz)}"
+
+
+def energy_fingerprint(objective: CliffordObjective) -> str:
+    """Cache key prefix for plain (unconstrained) Hamiltonian energies."""
+    return (
+        f"{hamiltonian_fingerprint(objective.problem.hamiltonian)}"
+        f"-{ansatz_fingerprint(objective.ansatz)}"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# evaluation cache
+# --------------------------------------------------------------------------- #
+class EvaluationCache:
+    """Objective values keyed by ``(fingerprint, Clifford index tuple)``.
+
+    The in-memory map is plain; process safety comes from the on-disk layout:
+    every writer appends to its own ``evals_*.jsonl`` shard (named with the
+    writing pid), so concurrent worker processes never interleave writes, and
+    every reader loads the union of all shards at startup.  A line that was
+    cut short by a killed process is skipped on load, which makes the store
+    safe to reuse after hard interruptions — exactly the property the
+    orchestrator's replay-based resume relies on.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        self._directory = Path(directory) if directory is not None else None
+        self._values: Dict[Tuple[str, Point], float] = {}
+        self._hits = 0
+        self._misses = 0
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            self._load_shards()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def directory(self) -> Optional[Path]:
+        return self._directory
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: Tuple[str, Sequence[int]]) -> bool:
+        fingerprint, point = key
+        return (fingerprint, tuple(int(v) for v in point)) in self._values
+
+    def get(self, fingerprint: str, point: Sequence[int]) -> Optional[float]:
+        value = self._values.get((fingerprint, tuple(int(v) for v in point)))
+        if value is None:
+            self._misses += 1
+        else:
+            self._hits += 1
+        return value
+
+    def put(self, fingerprint: str, point: Sequence[int], value: float) -> None:
+        self._values[(fingerprint, tuple(int(v) for v in point))] = float(value)
+
+    def shard_writer(self, tag: str) -> "CacheShardWriter":
+        if self._directory is None:
+            raise OptimizationError("cache has no directory; cannot open a shard")
+        path = self._directory / f"evals_{tag}_{os.getpid()}.jsonl"
+        return CacheShardWriter(path)
+
+    # ------------------------------------------------------------------ #
+    def _load_shards(self) -> None:
+        for shard in sorted(self._directory.glob("evals_*.jsonl")):
+            try:
+                text = shard.read_text()
+            except OSError:
+                continue
+            for line in text.splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    fingerprint, point, value = json.loads(line)
+                except (ValueError, TypeError):
+                    continue  # truncated tail of an interrupted writer
+                self._values[(str(fingerprint), tuple(int(v) for v in point))] = float(
+                    value
+                )
+
+
+class CacheShardWriter:
+    """Append-only JSONL writer for one process's newly computed evaluations."""
+
+    def __init__(self, path: Path):
+        self._path = path
+        self._handle: Optional[IO[str]] = open(path, "a")
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def record(self, fingerprint: str, point: Sequence[int], value: float) -> None:
+        if self._handle is None:
+            raise OptimizationError("cache shard writer is closed")
+        self._handle.write(
+            json.dumps([fingerprint, [int(v) for v in point], float(value)]) + "\n"
+        )
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class CachedObjective:
+    """A :class:`CliffordObjective` backed by an :class:`EvaluationCache`.
+
+    Cache reads return the exact stored double (JSON round-trips floats
+    bit-for-bit), so a search replayed on top of a warm cache follows the
+    identical trajectory it would have followed computing everything —
+    which is what makes checkpoint resume exact.  Attribute access falls
+    through to the wrapped objective.
+    """
+
+    def __init__(
+        self,
+        objective: CliffordObjective,
+        cache: EvaluationCache,
+        writer: Optional[CacheShardWriter] = None,
+    ):
+        self._objective = objective
+        self._cache = cache
+        self._writer = writer
+        self._fingerprint = objective_fingerprint(objective)
+        self._energy_fingerprint = energy_fingerprint(objective)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def fingerprint(self) -> str:
+        return self._fingerprint
+
+    @property
+    def cache(self) -> EvaluationCache:
+        return self._cache
+
+    @property
+    def wrapped(self) -> CliffordObjective:
+        return self._objective
+
+    def __getattr__(self, name):
+        return getattr(self._objective, name)
+
+    # ------------------------------------------------------------------ #
+    def _store(self, fingerprint: str, point: Point, value: float) -> None:
+        self._cache.put(fingerprint, point, value)
+        if self._writer is not None:
+            self._writer.record(fingerprint, point, value)
+
+    def __call__(self, indices: Sequence[int]) -> float:
+        point = validate_clifford_point(indices, self._objective.num_parameters)
+        cached = self._cache.get(self._fingerprint, point)
+        if cached is not None:
+            return cached
+        value = float(self._objective(point))
+        self._store(self._fingerprint, point, value)
+        return value
+
+    def evaluate_batch(self, points: Sequence[Sequence[int]]) -> np.ndarray:
+        keys = [
+            validate_clifford_point(p, self._objective.num_parameters) for p in points
+        ]
+        values: Dict[Point, float] = {}
+        for key in dict.fromkeys(keys):
+            cached = self._cache.get(self._fingerprint, key)
+            if cached is not None:
+                values[key] = cached
+        pending = [key for key in dict.fromkeys(keys) if key not in values]
+        if pending:
+            computed = self._objective.evaluate_batch(pending)
+            for position, key in enumerate(pending):
+                value = float(computed[position])
+                values[key] = value
+                self._store(self._fingerprint, key, value)
+        return np.array([values[key] for key in keys], dtype=float)
+
+    def energy(self, indices: Sequence[int]) -> float:
+        point = validate_clifford_point(indices, self._objective.num_parameters)
+        cached = self._cache.get(self._energy_fingerprint, point)
+        if cached is not None:
+            return cached
+        value = float(self._objective.energy(point))
+        self._store(self._energy_fingerprint, point, value)
+        return value
+
+    def flush(self) -> None:
+        if self._writer is not None:
+            self._writer.flush()
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+
+
+# --------------------------------------------------------------------------- #
+# restart tasks and results
+# --------------------------------------------------------------------------- #
+def restart_seed(base_seed: Optional[int], restart_index: int) -> Optional[int]:
+    """Deterministic, well-separated RNG seed for one restart.
+
+    Restart 0 reuses the base seed verbatim so a single-restart orchestrated
+    run is bit-identical to a direct ``CafqaSearch(seed=...)`` run; later
+    restarts derive independent streams through ``SeedSequence`` rather than
+    ``base + k`` (which would collide with the ``seed + index`` convention
+    the sweep drivers already use for neighbouring bond lengths).
+    """
+    if base_seed is None:
+        return None
+    if restart_index == 0:
+        return int(base_seed)
+    sequence = np.random.SeedSequence(entropy=(int(base_seed), int(restart_index)))
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
+def options_digest(options: Dict[str, object]) -> str:
+    """Stable hex digest of search-loop options for checkpoint validation.
+
+    Values with a value-stable ``repr`` are rendered directly; arbitrary
+    objects (e.g. acquisition instances, whose default repr embeds a memory
+    address) are rendered as their type plus instance dict, so two runs
+    configured the same way digest the same.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(options):
+        value = options[key]
+        if isinstance(value, (int, float, str, bool, frozenset, type(None), tuple, list, dict)):
+            rendered = repr(value)
+        else:
+            state = getattr(value, "__dict__", {})
+            rendered = f"{type(value).__qualname__}({sorted(state.items())!r})"
+        digest.update(f"{key}={rendered};".encode())
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class RestartTask:
+    """Everything one worker process needs to run (or resume) one restart."""
+
+    restart_index: int
+    seed: Optional[int]
+    max_evaluations: int
+    problem: MolecularProblem
+    ansatz: EfficientSU2Ansatz
+    objective_options: Dict[str, object]
+    search_options: Dict[str, object]
+    objective_fp: str
+    options_digest: str
+    store_dir: Optional[str]
+    checkpoint_dir: Optional[str]
+    checkpoint_interval: int
+
+
+@dataclass
+class SeedTrace:
+    """The picklable outcome of one restart (one BO search + refinement)."""
+
+    restart_index: int
+    seed: Optional[int]
+    best_indices: List[int]
+    energy: float
+    constrained_energy: float
+    num_iterations: int
+    converged_iteration: int
+    observations: List[Observation] = field(repr=False)
+    duration_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    from_checkpoint: bool = False
+
+
+@dataclass
+class MultiSeedResult:
+    """Merged outcome of all restarts of one orchestrated CAFQA search."""
+
+    problem_name: str
+    hf_energy: float
+    exact_energy: Optional[float]
+    traces: List[SeedTrace]
+    best: CafqaResult = field(repr=False)
+
+    @property
+    def num_restarts(self) -> int:
+        return len(self.traces)
+
+    @property
+    def energies(self) -> List[float]:
+        """Plain (unconstrained) best energy of each restart, by restart index."""
+        return [trace.energy for trace in self.traces]
+
+    @property
+    def best_trace(self) -> SeedTrace:
+        return min(
+            self.traces,
+            key=lambda t: (t.constrained_energy, t.energy, t.restart_index),
+        )
+
+    @property
+    def best_energy(self) -> float:
+        return self.best.energy
+
+    @property
+    def mean_energy(self) -> float:
+        return float(np.mean(self.energies))
+
+    @property
+    def std_energy(self) -> float:
+        return float(np.std(self.energies))
+
+    @property
+    def total_evaluations(self) -> int:
+        return sum(trace.num_iterations for trace in self.traces)
+
+    @property
+    def total_cache_hits(self) -> int:
+        return sum(trace.cache_hits for trace in self.traces)
+
+    @property
+    def improvement_over_hf(self) -> float:
+        return self.hf_energy - self.best.energy
+
+    @property
+    def error(self) -> Optional[float]:
+        if self.exact_energy is None:
+            return None
+        return abs(self.best.energy - self.exact_energy)
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiSeedResult({self.problem_name!r}, {self.num_restarts} restarts, "
+            f"best={self.best.energy:.6f} Ha, mean={self.mean_energy:.6f} Ha)"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# worker
+# --------------------------------------------------------------------------- #
+def _checkpoint_path(task: RestartTask) -> Path:
+    # Namespaced by the objective fingerprint so sweeps (e.g. a dissociation
+    # curve) can share one checkpoint directory without clobbering each
+    # bond length's checkpoints.
+    return (
+        Path(task.checkpoint_dir)
+        / f"restart_{task.objective_fp}_{task.restart_index:03d}.json"
+    )
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    temporary = path.with_suffix(f".tmp.{os.getpid()}")
+    temporary.write_text(json.dumps(payload) + "\n")
+    os.replace(temporary, path)
+
+
+def _observation_to_row(observation: Observation) -> list:
+    return [
+        [int(v) for v in observation.point],
+        observation.value,
+        observation.iteration,
+        observation.phase,
+    ]
+
+
+def _observation_from_row(row: Sequence) -> Observation:
+    point, value, iteration, phase = row
+    return Observation(
+        point=tuple(int(v) for v in point),
+        value=float(value),
+        iteration=int(iteration),
+        phase=str(phase),
+    )
+
+
+def _load_finished_checkpoint(task: RestartTask) -> Optional[SeedTrace]:
+    """A completed restart's trace from its checkpoint, or None to (re)run.
+
+    A checkpoint only short-circuits the restart when it matches the task's
+    objective fingerprint, seed, and budget — a stale checkpoint from a
+    different configuration is ignored, not trusted.
+    """
+    if task.checkpoint_dir is None:
+        return None
+    path = _checkpoint_path(task)
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    if (
+        payload.get("format") != CHECKPOINT_FORMAT
+        or payload.get("status") != "done"
+        or payload.get("objective_fingerprint") != task.objective_fp
+        or payload.get("options_digest") != task.options_digest
+        or payload.get("seed") != task.seed
+        or payload.get("max_evaluations") != task.max_evaluations
+    ):
+        return None
+    return SeedTrace(
+        restart_index=task.restart_index,
+        seed=task.seed,
+        best_indices=[int(v) for v in payload["best_indices"]],
+        energy=float(payload["energy"]),
+        constrained_energy=float(payload["constrained_energy"]),
+        num_iterations=int(payload["num_iterations"]),
+        converged_iteration=int(payload["converged_iteration"]),
+        observations=[_observation_from_row(row) for row in payload["observations"]],
+        from_checkpoint=True,
+    )
+
+
+def _checkpoint_payload(task: RestartTask, status: str, **extra) -> dict:
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "status": status,
+        "restart_index": task.restart_index,
+        "seed": task.seed,
+        "max_evaluations": task.max_evaluations,
+        "objective_fingerprint": task.objective_fp,
+        "options_digest": task.options_digest,
+        "problem": task.problem.name,
+    }
+    payload.update(extra)
+    return payload
+
+
+def run_restart(task: RestartTask) -> SeedTrace:
+    """Run one restart to completion; the ProcessPoolExecutor entry point."""
+    finished = _load_finished_checkpoint(task)
+    if finished is not None:
+        return finished
+
+    start = perf_counter()
+    cache = EvaluationCache(task.store_dir) if task.store_dir is not None else None
+    objective = CliffordObjective(task.problem, task.ansatz, **task.objective_options)
+    if cache is not None:
+        writer = cache.shard_writer(f"r{task.restart_index:03d}")
+        objective = CachedObjective(objective, cache, writer)
+    search = CafqaSearch(
+        task.problem,
+        ansatz=task.ansatz,
+        objective=objective,
+        seed=task.seed,
+        **task.search_options,
+    )
+
+    observed: List[Observation] = []
+
+    def on_observation(observation: Observation) -> None:
+        observed.append(observation)
+        if len(observed) % max(1, task.checkpoint_interval) != 0:
+            return
+        if cache is not None:
+            objective.flush()
+        if task.checkpoint_dir is not None:
+            # Progress-only payload: resume replays from the evaluation
+            # shards, so re-serializing the whole observation list here
+            # would be O(n^2) dead weight over a long search.
+            best = min(observed, key=lambda o: o.value)
+            _write_json_atomic(
+                _checkpoint_path(task),
+                _checkpoint_payload(
+                    task,
+                    "running",
+                    evaluations_done=len(observed),
+                    phase=observed[-1].phase,
+                    best_value_so_far=best.value,
+                    best_point_so_far=[int(v) for v in best.point],
+                ),
+            )
+
+    try:
+        result = search.run(
+            max_evaluations=task.max_evaluations, callback=on_observation
+        )
+    finally:
+        if cache is not None:
+            objective.close()
+
+    trace = SeedTrace(
+        restart_index=task.restart_index,
+        seed=task.seed,
+        best_indices=list(result.best_indices),
+        energy=float(result.energy),
+        constrained_energy=float(result.constrained_energy),
+        num_iterations=result.num_iterations,
+        converged_iteration=result.converged_iteration,
+        observations=list(result.search_result.observations),
+        duration_seconds=perf_counter() - start,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+    )
+    if task.checkpoint_dir is not None:
+        _write_json_atomic(
+            _checkpoint_path(task),
+            _checkpoint_payload(
+                task,
+                "done",
+                best_indices=trace.best_indices,
+                energy=trace.energy,
+                constrained_energy=trace.constrained_energy,
+                num_iterations=trace.num_iterations,
+                converged_iteration=trace.converged_iteration,
+                observations=[_observation_to_row(o) for o in trace.observations],
+            ),
+        )
+    return trace
+
+
+# --------------------------------------------------------------------------- #
+# orchestrator
+# --------------------------------------------------------------------------- #
+class SearchOrchestrator:
+    """Shards N independent CAFQA restarts across worker processes.
+
+    Each restart gets its own deterministic RNG seed (see
+    :func:`restart_seed`) and runs the full search — warm-up, surrogate
+    rounds, coordinate-descent refinement — in a worker process.  With
+    ``cache_dir`` (or a ``checkpoint_dir`` at :meth:`run` time) the
+    stabilizer evaluations are persisted, so repeated or interrupted runs
+    resume instead of recomputing.
+
+    ``max_workers=None`` uses ``min(num_restarts, cpu count)``;
+    ``max_workers=1`` (or a single restart) runs inline in this process,
+    which keeps single-seed pipeline calls free of process-pool overhead and
+    bit-identical to a direct :class:`CafqaSearch` run.
+    """
+
+    def __init__(
+        self,
+        problem: MolecularProblem,
+        num_restarts: int = 4,
+        max_workers: Optional[int] = None,
+        seed: Optional[int] = 0,
+        ansatz: Optional[EfficientSU2Ansatz] = None,
+        ansatz_reps: int = 1,
+        cache_dir: Optional[os.PathLike] = None,
+        checkpoint_interval: int = 32,
+        **search_options,
+    ):
+        if num_restarts < 1:
+            raise OptimizationError("the orchestrator needs at least one restart")
+        if max_workers is not None and max_workers < 1:
+            raise OptimizationError("max_workers must be at least one when given")
+        self._problem = problem
+        self._num_restarts = int(num_restarts)
+        self._max_workers = max_workers
+        self._seed = seed
+        self._ansatz = ansatz if ansatz is not None else EfficientSU2Ansatz(
+            problem.num_qubits, reps=ansatz_reps
+        )
+        self._cache_dir = str(cache_dir) if cache_dir is not None else None
+        self._checkpoint_interval = int(checkpoint_interval)
+        self._objective_options = {
+            key: search_options.pop(key)
+            for key in _OBJECTIVE_OPTIONS
+            if key in search_options
+        }
+        self._search_options = search_options
+        # The parent-side objective exists for fingerprinting and for
+        # rebuilding the winning CafqaResult; it never simulates anything.
+        self._objective = CliffordObjective(
+            problem, self._ansatz, **self._objective_options
+        )
+        self._objective_fp = objective_fingerprint(self._objective)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def problem(self) -> MolecularProblem:
+        return self._problem
+
+    @property
+    def ansatz(self) -> EfficientSU2Ansatz:
+        return self._ansatz
+
+    @property
+    def num_restarts(self) -> int:
+        return self._num_restarts
+
+    @property
+    def objective_fingerprint(self) -> str:
+        return self._objective_fp
+
+    def restart_seeds(self) -> List[Optional[int]]:
+        return [restart_seed(self._seed, index) for index in range(self._num_restarts)]
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        max_evaluations: int = 300,
+        checkpoint_dir: Optional[os.PathLike] = None,
+    ) -> MultiSeedResult:
+        """Run every restart (resuming from checkpoints when possible)."""
+        checkpoint = str(checkpoint_dir) if checkpoint_dir is not None else None
+        store = self._cache_dir if self._cache_dir is not None else checkpoint
+        if checkpoint is not None:
+            Path(checkpoint).mkdir(parents=True, exist_ok=True)
+        digest = options_digest(self._search_options)
+        tasks = [
+            RestartTask(
+                restart_index=index,
+                seed=seed,
+                max_evaluations=int(max_evaluations),
+                problem=self._problem,
+                ansatz=self._ansatz,
+                objective_options=dict(self._objective_options),
+                search_options=dict(self._search_options),
+                objective_fp=self._objective_fp,
+                options_digest=digest,
+                store_dir=store,
+                checkpoint_dir=checkpoint,
+                checkpoint_interval=self._checkpoint_interval,
+            )
+            for index, seed in enumerate(self.restart_seeds())
+        ]
+
+        workers = self._max_workers
+        if workers is None:
+            workers = min(self._num_restarts, os.cpu_count() or 1)
+        workers = min(workers, self._num_restarts)
+
+        if workers <= 1:
+            traces = [run_restart(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                traces = list(executor.map(run_restart, tasks))
+
+        return self._merge(traces)
+
+    # ------------------------------------------------------------------ #
+    def _merge(self, traces: List[SeedTrace]) -> MultiSeedResult:
+        best_trace = min(
+            traces, key=lambda t: (t.constrained_energy, t.energy, t.restart_index)
+        )
+        search_result = BayesianOptimizationResult(
+            best_point=tuple(best_trace.best_indices),
+            best_value=best_trace.constrained_energy,
+            observations=list(best_trace.observations),
+            num_iterations=best_trace.num_iterations,
+            converged_iteration=best_trace.converged_iteration,
+        )
+        best = CafqaResult(
+            problem_name=self._problem.name,
+            best_indices=list(best_trace.best_indices),
+            best_angles=indices_to_angles(best_trace.best_indices),
+            energy=best_trace.energy,
+            constrained_energy=best_trace.constrained_energy,
+            hf_energy=self._problem.hf_energy,
+            exact_energy=self._problem.exact_energy,
+            num_iterations=best_trace.num_iterations,
+            converged_iteration=best_trace.converged_iteration,
+            search_result=search_result,
+            ansatz=self._ansatz,
+        )
+        return MultiSeedResult(
+            problem_name=self._problem.name,
+            hf_energy=self._problem.hf_energy,
+            exact_energy=self._problem.exact_energy,
+            traces=list(traces),
+            best=best,
+        )

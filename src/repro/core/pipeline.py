@@ -8,6 +8,7 @@ dissociation figures report (HF vs CAFQA vs exact at one bond length);
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -15,7 +16,8 @@ from repro.chemistry.hamiltonian import MolecularProblem
 from repro.chemistry.molecules import get_preset, make_problem
 from repro.core.constraints import ParticleConstraint
 from repro.core.metrics import AccuracySummary
-from repro.core.search import CafqaResult, CafqaSearch
+from repro.core.orchestrator import MultiSeedResult, SearchOrchestrator
+from repro.core.search import CafqaResult
 from repro.exceptions import ReproError
 
 
@@ -28,6 +30,7 @@ class MoleculeEvaluation:
     problem: MolecularProblem = field(repr=False)
     cafqa: CafqaResult = field(repr=False)
     summary: AccuracySummary
+    multi_seed: Optional[MultiSeedResult] = field(default=None, repr=False)
 
     @property
     def hf_energy(self) -> float:
@@ -59,9 +62,20 @@ def evaluate_molecule(
     constraint: Optional[ParticleConstraint] = None,
     spin_z_target: Optional[float] = None,
     problem: Optional[MolecularProblem] = None,
+    num_seeds: int = 1,
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[os.PathLike] = None,
+    checkpoint_dir: Optional[os.PathLike] = None,
     **search_options,
 ) -> MoleculeEvaluation:
-    """Run the full HF / CAFQA / exact comparison for one molecule configuration."""
+    """Run the full HF / CAFQA / exact comparison for one molecule configuration.
+
+    Every evaluation goes through the :class:`SearchOrchestrator`:
+    ``num_seeds`` independent restarts (the default single restart runs
+    inline, bit-identical to a plain ``CafqaSearch``), sharded across
+    ``max_workers`` processes, with optional evaluation caching
+    (``cache_dir``) and checkpoint/resume (``checkpoint_dir``).
+    """
     preset = get_preset(molecule)
     length = preset.equilibrium_bond_length if bond_length is None else float(bond_length)
     if problem is None:
@@ -71,14 +85,20 @@ def evaluate_molecule(
             compute_exact=compute_exact,
             particle_sector=particle_sector,
         )
-    search = CafqaSearch(
+    orchestrator = SearchOrchestrator(
         problem,
+        num_restarts=num_seeds,
+        max_workers=max_workers,
+        seed=seed,
+        cache_dir=cache_dir,
         constraint=constraint,
         spin_z_target=spin_z_target,
-        seed=seed,
         **search_options,
     )
-    cafqa = search.run(max_evaluations=max_evaluations)
+    multi = orchestrator.run(
+        max_evaluations=max_evaluations, checkpoint_dir=checkpoint_dir
+    )
+    cafqa = multi.best
     summary = AccuracySummary(
         molecule=molecule,
         bond_length=length,
@@ -92,6 +112,7 @@ def evaluate_molecule(
         problem=problem,
         cafqa=cafqa,
         summary=summary,
+        multi_seed=multi,
     )
 
 
@@ -101,9 +122,17 @@ def dissociation_curve(
     max_evaluations: int = 300,
     seed: Optional[int] = None,
     compute_exact: bool = True,
+    num_seeds: int = 1,
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[os.PathLike] = None,
     **options,
 ) -> List[MoleculeEvaluation]:
-    """Sweep bond lengths and evaluate HF / CAFQA / exact at each (a paper "dissociation curve")."""
+    """Sweep bond lengths and evaluate HF / CAFQA / exact at each (a paper "dissociation curve").
+
+    With ``num_seeds > 1`` every bond length runs a best-of-N-restarts search
+    through the orchestrator; a shared ``cache_dir`` lets repeated sweeps
+    reuse every stabilizer evaluation from earlier runs.
+    """
     if not bond_lengths:
         raise ReproError("at least one bond length is required")
     evaluations = []
@@ -116,6 +145,9 @@ def dissociation_curve(
                 max_evaluations=max_evaluations,
                 seed=run_seed,
                 compute_exact=compute_exact,
+                num_seeds=num_seeds,
+                max_workers=max_workers,
+                cache_dir=cache_dir,
                 **options,
             )
         )

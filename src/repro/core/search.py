@@ -11,7 +11,7 @@ search result is never worse than the Hartree–Fock baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -100,6 +100,8 @@ class CafqaSearch:
         refit_interval: int = 5,
         proposal_batch: int = 1,
         seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        objective: Optional[CliffordObjective] = None,
     ):
         if not 0.0 < warmup_fraction < 1.0:
             raise OptimizationError("warmup_fraction must be strictly between 0 and 1")
@@ -107,13 +109,23 @@ class CafqaSearch:
         self._ansatz = ansatz if ansatz is not None else EfficientSU2Ansatz(
             problem.num_qubits, reps=ansatz_reps
         )
-        self._objective = CliffordObjective(
-            problem,
-            self._ansatz,
-            constraint=constraint,
-            spin_z_target=spin_z_target,
-            penalty_weight=penalty_weight,
-        )
+        # An injected objective (e.g. the orchestrator's cache-backed wrapper)
+        # replaces the default and supplies the ansatz.
+        if objective is not None:
+            if ansatz is not None and objective.ansatz is not ansatz:
+                raise OptimizationError(
+                    "injected objective must be built on the search ansatz"
+                )
+            self._ansatz = objective.ansatz
+            self._objective = objective
+        else:
+            self._objective = CliffordObjective(
+                problem,
+                self._ansatz,
+                constraint=constraint,
+                spin_z_target=spin_z_target,
+                penalty_weight=penalty_weight,
+            )
         self._warmup_fraction = float(warmup_fraction)
         self._pool_size = int(candidate_pool_size)
         self._acquisition = acquisition
@@ -124,6 +136,7 @@ class CafqaSearch:
         self._refit_interval = int(refit_interval)
         self._proposal_batch = int(proposal_batch)
         self._seed = seed
+        self._rng = rng
 
     # ------------------------------------------------------------------ #
     @property
@@ -139,8 +152,17 @@ class CafqaSearch:
         return hartree_fock_clifford_point(self._ansatz, self._problem.hf_bits)
 
     # ------------------------------------------------------------------ #
-    def run(self, max_evaluations: int = 500) -> CafqaResult:
-        """Search the Clifford space and return the best initialization found."""
+    def run(
+        self,
+        max_evaluations: int = 500,
+        callback: Optional[Callable[[Observation], None]] = None,
+    ) -> CafqaResult:
+        """Search the Clifford space and return the best initialization found.
+
+        ``callback`` is invoked once per recorded observation — in the BO
+        phases and in the refinement sweeps — which is what the orchestrator
+        uses to flush evaluation-cache shards / checkpoints after each round.
+        """
         if max_evaluations < 2:
             raise OptimizationError("the search needs at least two evaluations")
         space = DiscreteSpace.clifford(self._ansatz.num_parameters)
@@ -158,11 +180,14 @@ class CafqaSearch:
             refit_interval=self._refit_interval,
             proposal_batch=self._proposal_batch,
             seed=self._seed,
+            rng=self._rng,
         )
-        search_result = optimizer.minimize(self._objective, max_evaluations=max_evaluations)
+        search_result = optimizer.minimize(
+            self._objective, max_evaluations=max_evaluations, callback=callback
+        )
 
         if self._local_refinement:
-            search_result = self._refine(search_result)
+            search_result = self._refine(search_result, callback=callback)
 
         best_indices = list(search_result.best_point)
         plain_energy = self._objective.energy(best_indices)
@@ -182,7 +207,11 @@ class CafqaSearch:
 
 
     # ------------------------------------------------------------------ #
-    def _refine(self, search_result: BayesianOptimizationResult) -> BayesianOptimizationResult:
+    def _refine(
+        self,
+        search_result: BayesianOptimizationResult,
+        callback: Optional[Callable[[Observation], None]] = None,
+    ) -> BayesianOptimizationResult:
         """Greedy coordinate descent from the incumbent over the Clifford indices."""
         point, value, observations = coordinate_descent(
             self._objective,
@@ -190,6 +219,7 @@ class CafqaSearch:
             cardinality=4,
             max_sweeps=self._refinement_sweeps,
             start_iteration=search_result.num_iterations,
+            callback=callback,
         )
         all_observations = list(search_result.observations) + observations
         if value < search_result.best_value - 1e-12:
@@ -215,6 +245,7 @@ def coordinate_descent(
     cardinality: int,
     max_sweeps: int = 4,
     start_iteration: int = 0,
+    callback: Optional[Callable[[Observation], None]] = None,
 ) -> tuple[tuple, float, List[Observation]]:
     """Greedy one-parameter-at-a-time descent over a discrete space.
 
@@ -267,9 +298,12 @@ def coordinate_descent(
                 else:
                     value = float(objective(candidate))
                 iteration += 1
-                observations.append(
-                    Observation(point=candidate, value=value, iteration=iteration, phase="refine")
+                observation = Observation(
+                    point=candidate, value=value, iteration=iteration, phase="refine"
                 )
+                observations.append(observation)
+                if callback is not None:
+                    callback(observation)
                 if value < current_value - 1e-12:
                     current, current_value = candidate, value
                     improved = True

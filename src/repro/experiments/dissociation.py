@@ -81,8 +81,14 @@ def run_dissociation_curve(
     bond_lengths: Optional[Sequence[float]] = None,
     seed: int = 0,
     ansatz_reps: int = 1,
+    num_seeds: int = 1,
+    max_workers: Optional[int] = None,
 ) -> DissociationCurveResult:
-    """HF / CAFQA / exact dissociation curve for one molecule."""
+    """HF / CAFQA / exact dissociation curve for one molecule.
+
+    ``num_seeds`` / ``max_workers`` shard best-of-N restarts per bond length
+    through the search orchestrator.
+    """
     preset = get_preset(molecule)
     lengths = bond_lengths if bond_lengths is not None else _default_bond_lengths(molecule, scale)
     budget = scale.search_evaluations(preset.expected_qubits or 12)
@@ -94,6 +100,8 @@ def run_dissociation_curve(
             max_evaluations=budget,
             seed=seed + index,
             ansatz_reps=ansatz_reps,
+            num_seeds=num_seeds,
+            max_workers=max_workers,
         )
         points.append(
             DissociationPoint(

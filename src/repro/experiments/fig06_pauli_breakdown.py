@@ -19,7 +19,8 @@ import numpy as np
 
 from repro.chemistry.exact import exact_ground_state
 from repro.chemistry.molecules import make_problem
-from repro.core.search import CafqaSearch
+from repro.core.objective import CliffordObjective
+from repro.core.orchestrator import SearchOrchestrator
 from repro.operators.pauli import Pauli
 from repro.statevector.simulator import Statevector
 
@@ -64,15 +65,27 @@ def run_pauli_breakdown(
     bond_length: float = 4.8,
     max_evaluations: int = 300,
     seed: Optional[int] = 0,
+    num_seeds: int = 2,
+    max_workers: Optional[int] = None,
 ) -> PauliBreakdownResult:
-    """Generate the Fig. 6 data for ``molecule`` at ``bond_length``."""
+    """Generate the Fig. 6 data for ``molecule`` at ``bond_length``.
+
+    The breakdown is taken at the best point of a best-of-``num_seeds``
+    orchestrated search (like the paper's per-molecule searches): whether a
+    single restart escapes the diagonal HF basin at small budgets is seed
+    luck, while the best of a few restarts reliably captures non-diagonal
+    terms.
+    """
     problem = make_problem(molecule, bond_length)
-    search = CafqaSearch(problem, seed=seed)
-    cafqa = search.run(max_evaluations=max_evaluations)
+    orchestrator = SearchOrchestrator(
+        problem, num_restarts=num_seeds, max_workers=max_workers, seed=seed
+    )
+    cafqa = orchestrator.run(max_evaluations=max_evaluations).best
 
     hf_state = Statevector.from_bitstring(problem.hf_bits)
     exact = exact_ground_state(problem.hamiltonian)
-    cafqa_expectations: Dict[str, int] = search.objective.term_expectations(cafqa.best_indices)
+    objective = CliffordObjective(problem, orchestrator.ansatz)
+    cafqa_expectations: Dict[str, int] = objective.term_expectations(cafqa.best_indices)
 
     rows: List[PauliBreakdownRow] = []
     for term in problem.hamiltonian.terms():

@@ -13,7 +13,8 @@ from typing import List, Optional
 
 from repro.chemistry.molecules import make_problem
 from repro.core.metrics import CHEMICAL_ACCURACY
-from repro.core.search import CafqaSearch
+from repro.core.objective import CliffordObjective
+from repro.core.orchestrator import SearchOrchestrator
 
 
 @dataclass
@@ -45,24 +46,38 @@ def run_search_trace(
     max_evaluations: int = 400,
     warmup_fraction: float = 0.5,
     seed: Optional[int] = 0,
+    num_seeds: int = 1,
+    max_workers: Optional[int] = None,
 ) -> SearchTraceResult:
-    """Run one CAFQA search and return its best-so-far error trace."""
+    """Run a CAFQA search and return the best restart's best-so-far error trace.
+
+    ``num_seeds > 1`` shards independent restarts across worker processes via
+    the orchestrator and traces the winning restart (the paper reports the
+    best-of-many-seeds trajectory per molecule).
+    """
     problem = make_problem(molecule, bond_length)
     if problem.exact_energy is None:
         raise ValueError(f"{molecule} at {bond_length} A has no exact reference")
-    search = CafqaSearch(problem, warmup_fraction=warmup_fraction, seed=seed)
-    result = search.run(max_evaluations=max_evaluations)
+    orchestrator = SearchOrchestrator(
+        problem,
+        num_restarts=num_seeds,
+        max_workers=max_workers,
+        seed=seed,
+        warmup_fraction=warmup_fraction,
+    )
+    multi = orchestrator.run(max_evaluations=max_evaluations)
 
-    observations = result.search_result.observations
+    observations = multi.best_trace.observations
+    # Plain (unconstrained) energies of the whole trace in one batched
+    # simulation, so the trace is comparable with the exact energy.
+    objective = CliffordObjective(problem, orchestrator.ansatz)
+    energies = objective.energy_batch([obs.point for obs in observations])
     errors: List[float] = []
     phases: List[str] = []
     best = float("inf")
     reached_at = None
-    for observation in observations:
-        # Track the plain (unconstrained) energy of the incumbent so the trace
-        # is comparable with the exact energy.
-        energy = search.objective.energy(observation.point)
-        best = min(best, energy)
+    for observation, energy in zip(observations, energies):
+        best = min(best, float(energy))
         error = abs(best - problem.exact_energy)
         errors.append(error)
         phases.append(observation.phase)

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.chemistry.molecules import get_preset, make_problem
-from repro.core.search import CafqaSearch
+from repro.core.orchestrator import SearchOrchestrator
 from repro.experiments.config import ExperimentScale, QUICK, spread_bond_lengths
 
 
@@ -49,8 +49,15 @@ def run_large_molecule(
     scale: ExperimentScale = QUICK,
     bond_lengths: Optional[Sequence[float]] = None,
     seed: int = 0,
+    num_seeds: int = 1,
+    max_workers: Optional[int] = None,
 ) -> LargeMoleculeResult:
-    """CAFQA vs HF for a molecule too large for exact diagonalization."""
+    """CAFQA vs HF for a molecule too large for exact diagonalization.
+
+    These are the longest searches in the suite, so they benefit most from
+    sharding: ``num_seeds``/``max_workers`` run best-of-N restarts per bond
+    length through the orchestrator.
+    """
     preset = get_preset(molecule)
     if bond_lengths is None:
         low, high = preset.bond_length_range
@@ -59,15 +66,17 @@ def run_large_molecule(
     points: List[LargeMoleculePoint] = []
     for index, bond_length in enumerate(bond_lengths):
         problem = make_problem(molecule, bond_length, compute_exact=False)
-        search = CafqaSearch(problem, seed=seed + index)
-        result = search.run(max_evaluations=budget)
+        orchestrator = SearchOrchestrator(
+            problem, num_restarts=num_seeds, max_workers=max_workers, seed=seed + index
+        )
+        multi = orchestrator.run(max_evaluations=budget)
         points.append(
             LargeMoleculePoint(
                 bond_length=float(bond_length),
                 hf_energy=problem.hf_energy,
-                cafqa_energy=result.energy,
+                cafqa_energy=multi.best.energy,
                 num_qubits=problem.num_qubits,
-                search_iterations=result.num_iterations,
+                search_iterations=multi.total_evaluations,
             )
         )
     return LargeMoleculeResult(molecule=molecule, points=points)

@@ -1,0 +1,145 @@
+"""Property tests for noise channels: CPTP-ness and stochastic readout.
+
+Every Kraus channel the library can construct — directly from the channel
+factories, or indirectly through any :class:`NoiseModel` / fake-device preset
+— must satisfy the completeness relation (trace preservation), and every
+readout confusion matrix must be column-stochastic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.gates import Gate
+from repro.exceptions import NoiseModelError
+from repro.noise import (
+    NoiseModel,
+    ReadoutError,
+    amplitude_damping_kraus,
+    available_devices,
+    bit_flip_kraus,
+    depolarizing_kraus,
+    fake_device,
+    ideal_noise_model,
+    is_trace_preserving,
+    phase_damping_kraus,
+    phase_flip_kraus,
+)
+
+probabilities = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+_PROBE_GATES = (Gate("x", (0,)), Gate("h", (0,)), Gate("cx", (0, 1)), Gate("cz", (0, 1)))
+
+
+class TestChannelFactoriesAreCPTP:
+    @given(probability=probabilities, num_qubits=st.sampled_from([1, 2]))
+    @settings(max_examples=30, deadline=None)
+    def test_depolarizing(self, probability, num_qubits):
+        kraus = depolarizing_kraus(probability, num_qubits)
+        assert is_trace_preserving(kraus)
+        assert all(op.shape == (2**num_qubits,) * 2 for op in kraus)
+
+    @given(gamma=probabilities)
+    @settings(max_examples=30, deadline=None)
+    def test_amplitude_damping(self, gamma):
+        assert is_trace_preserving(amplitude_damping_kraus(gamma))
+
+    @given(gamma=probabilities)
+    @settings(max_examples=30, deadline=None)
+    def test_phase_damping(self, gamma):
+        assert is_trace_preserving(phase_damping_kraus(gamma))
+
+    @given(probability=probabilities)
+    @settings(max_examples=30, deadline=None)
+    def test_bit_and_phase_flip(self, probability):
+        assert is_trace_preserving(bit_flip_kraus(probability))
+        assert is_trace_preserving(phase_flip_kraus(probability))
+
+    def test_out_of_range_probability_rejected(self):
+        for factory in (
+            depolarizing_kraus,
+            amplitude_damping_kraus,
+            phase_damping_kraus,
+            bit_flip_kraus,
+            phase_flip_kraus,
+        ):
+            with pytest.raises(NoiseModelError):
+                factory(1.5)
+            with pytest.raises(NoiseModelError):
+                factory(-0.1)
+
+
+class TestNoiseModelChannelsAreCPTP:
+    @pytest.mark.parametrize("device", sorted(available_devices()))
+    def test_every_preset_channel(self, device):
+        model = fake_device(device)
+        model.validate()
+        for gate in _PROBE_GATES:
+            for kraus, qubits in model.channels_for_gate(gate):
+                assert is_trace_preserving(kraus)
+                assert len(qubits) in (1, 2)
+
+    @given(
+        single=st.floats(min_value=0.0, max_value=0.2),
+        double=st.floats(min_value=0.0, max_value=0.2),
+        damping=st.floats(min_value=0.0, max_value=0.2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_models(self, single, double, damping):
+        model = NoiseModel(
+            name="prop",
+            single_qubit_error=single,
+            two_qubit_error=double,
+            amplitude_damping=damping,
+        )
+        for gate in _PROBE_GATES:
+            for kraus, _ in model.channels_for_gate(gate):
+                assert is_trace_preserving(kraus)
+
+    def test_ideal_model_attaches_no_channels(self):
+        model = ideal_noise_model()
+        for gate in _PROBE_GATES:
+            assert model.channels_for_gate(gate) == []
+
+
+class TestReadoutErrorIsStochastic:
+    @given(
+        p10=st.floats(min_value=0.0, max_value=0.5),
+        p01=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_assignment_matrix_columns_sum_to_one(self, p10, p01):
+        matrix = ReadoutError(p10, p01).assignment_matrix
+        np.testing.assert_allclose(matrix.sum(axis=0), [1.0, 1.0], atol=1e-12)
+        assert np.all(matrix >= 0.0) and np.all(matrix <= 1.0)
+
+    @pytest.mark.parametrize("device", sorted(available_devices()))
+    def test_preset_readout_matrices_are_stochastic(self, device):
+        readout = fake_device(device).readout
+        matrix = readout.assignment_matrix
+        np.testing.assert_allclose(matrix.sum(axis=0), [1.0, 1.0], atol=1e-12)
+        assert np.all(matrix >= 0.0)
+        assert -1.0 <= readout.damping_factor() <= 1.0
+
+    @given(
+        p10=st.floats(min_value=0.0, max_value=0.5),
+        p01=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_readout_preserves_total_probability(self, p10, p01):
+        model = NoiseModel(name="ro", readout=ReadoutError(p10, p01))
+        rng = np.random.default_rng(0)
+        raw = rng.random(8)
+        probabilities = raw / raw.sum()
+        adjusted = model.apply_readout_error(probabilities, num_qubits=3)
+        assert adjusted.sum() == pytest.approx(1.0, abs=1e-12)
+        assert np.all(adjusted >= -1e-12)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(NoiseModelError):
+            ReadoutError(0.6, 0.0)
+        with pytest.raises(NoiseModelError):
+            ReadoutError(0.0, -0.1)

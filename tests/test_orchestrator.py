@@ -1,0 +1,336 @@
+"""Tests for the multi-seed search orchestrator: caching, sharding, resume.
+
+The end-to-end smoke test and the checkpoint/resume test run the real
+pipeline (chemistry -> orchestrated Clifford search) on stretched H2, where
+the exact ground state is close to a stabilizer state, so a small search
+budget reaches chemical accuracy.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bayesopt import BayesianOptimizer, DiscreteSpace, RandomForestRegressor
+from repro.chemistry import make_problem
+from repro.circuits import EfficientSU2Ansatz
+from repro.core import (
+    CHEMICAL_ACCURACY,
+    CafqaSearch,
+    CliffordObjective,
+    SearchOrchestrator,
+    ansatz_fingerprint,
+    evaluate_molecule,
+    hamiltonian_fingerprint,
+    objective_fingerprint,
+    restart_seed,
+)
+from repro.core.orchestrator import CachedObjective, EvaluationCache
+from repro.exceptions import OptimizationError
+from repro.operators import PauliSum
+
+
+@pytest.fixture(scope="module")
+def h2_far_problem():
+    """H2 at 3.5 A: the ground state is nearly a Bell (stabilizer) state."""
+    return make_problem("H2", 3.5)
+
+
+def _observation_rows(trace):
+    return [(o.point, o.value, o.iteration, o.phase) for o in trace.observations]
+
+
+# --------------------------------------------------------------------------- #
+# fingerprints
+# --------------------------------------------------------------------------- #
+class TestFingerprints:
+    def test_hamiltonian_fingerprint_is_stable_and_order_free(self):
+        a = PauliSum({"XX": 0.5, "ZI": -1.0})
+        b = PauliSum({"ZI": -1.0, "XX": 0.5})
+        assert hamiltonian_fingerprint(a) == hamiltonian_fingerprint(b)
+        assert hamiltonian_fingerprint(a) != hamiltonian_fingerprint(
+            PauliSum({"XX": 0.5, "ZI": -1.0 + 1e-12})
+        )
+
+    def test_ansatz_fingerprint_tracks_structure(self):
+        base = ansatz_fingerprint(EfficientSU2Ansatz(3, reps=1))
+        assert base == ansatz_fingerprint(EfficientSU2Ansatz(3, reps=1))
+        assert base != ansatz_fingerprint(EfficientSU2Ansatz(3, reps=2))
+        assert base != ansatz_fingerprint(EfficientSU2Ansatz(4, reps=1))
+
+    def test_objective_fingerprint_tracks_constraint(self, h2_far_problem):
+        ansatz = EfficientSU2Ansatz(h2_far_problem.num_qubits, reps=1)
+        plain = CliffordObjective(h2_far_problem, ansatz)
+        # H2's tapered number operators are constants, so target the spin
+        # sector: a spin-Z penalty changes the constrained operator.
+        penalized = CliffordObjective(h2_far_problem, ansatz, spin_z_target=1.0)
+        assert objective_fingerprint(plain) != objective_fingerprint(penalized)
+
+
+# --------------------------------------------------------------------------- #
+# evaluation cache
+# --------------------------------------------------------------------------- #
+class TestEvaluationCache:
+    def test_memory_roundtrip_and_hit_counting(self):
+        cache = EvaluationCache()
+        assert cache.get("fp", (1, 2)) is None
+        cache.put("fp", (1, 2), -1.5)
+        assert cache.get("fp", [1, 2]) == -1.5
+        assert ("fp", (1, 2)) in cache
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_disk_shards_survive_reload(self, tmp_path):
+        cache = EvaluationCache(tmp_path)
+        writer = cache.shard_writer("r000")
+        writer.record("fp", (0, 1, 2), -2.25)
+        writer.record("other", (3,), 0.5)
+        writer.close()
+        reloaded = EvaluationCache(tmp_path)
+        assert reloaded.get("fp", (0, 1, 2)) == -2.25
+        assert reloaded.get("other", (3,)) == 0.5
+        assert len(reloaded) == 2
+
+    def test_truncated_shard_line_is_skipped(self, tmp_path):
+        shard = tmp_path / "evals_r000_1.jsonl"
+        shard.write_text(
+            json.dumps(["fp", [1], -1.0]) + "\n" + '["fp", [2], -'  # cut mid-write
+        )
+        cache = EvaluationCache(tmp_path)
+        assert cache.get("fp", (1,)) == -1.0
+        assert len(cache) == 1
+
+    def test_cached_objective_matches_and_dedups(self, h2_far_problem, tmp_path):
+        ansatz = EfficientSU2Ansatz(h2_far_problem.num_qubits, reps=1)
+        raw = CliffordObjective(h2_far_problem, ansatz, cache=False)
+        reference = CliffordObjective(h2_far_problem, ansatz)
+        cache = EvaluationCache(tmp_path)
+        cached = CachedObjective(raw, cache, cache.shard_writer("r000"))
+        rng = np.random.default_rng(0)
+        points = [tuple(rng.integers(0, 4, ansatz.num_parameters)) for _ in range(6)]
+        batch = cached.evaluate_batch(points + points)  # duplicates cost nothing
+        for point, value in zip(points, batch[: len(points)]):
+            assert value == reference(point)
+            assert cached(point) == value  # now a pure cache hit
+        assert raw.num_evaluations == len(set(points))
+        cached.close()
+        # A second process/run sees the same values from disk.
+        warm = EvaluationCache(tmp_path)
+        for point, value in zip(points, batch):
+            assert warm.get(cached.fingerprint, point) == value
+
+
+# --------------------------------------------------------------------------- #
+# rng threading (reproducibility)
+# --------------------------------------------------------------------------- #
+class TestRngInjection:
+    def test_restart_seed_derivation(self):
+        assert restart_seed(None, 3) is None
+        assert restart_seed(7, 0) == 7
+        laters = [restart_seed(7, k) for k in range(1, 5)]
+        assert len(set(laters)) == len(laters)
+        assert restart_seed(7, 1) == restart_seed(7, 1)
+        assert restart_seed(8, 1) != restart_seed(7, 1)
+
+    def test_optimizer_accepts_injected_generator(self):
+        space = DiscreteSpace.clifford(4)
+
+        def objective(point):
+            return float(sum(v * v for v in point))
+
+        seeded = BayesianOptimizer(space, warmup_evaluations=10, seed=11).minimize(
+            objective, max_evaluations=40
+        )
+        injected = BayesianOptimizer(
+            space, warmup_evaluations=10, rng=np.random.default_rng(11)
+        ).minimize(objective, max_evaluations=40)
+        assert [(o.point, o.value) for o in seeded.observations] == [
+            (o.point, o.value) for o in injected.observations
+        ]
+
+    def test_forest_with_injected_rng_is_deterministic(self):
+        rng = np.random.default_rng(3)
+        features = rng.integers(0, 4, size=(80, 3)).astype(float)
+        targets = features.sum(axis=1)
+        first = RandomForestRegressor(num_trees=5, rng=np.random.default_rng(9))
+        second = RandomForestRegressor(num_trees=5, rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(
+            first.fit(features, targets).predict(features),
+            second.fit(features, targets).predict(features),
+        )
+
+    def test_search_with_injected_generator_matches_seed(self, h2_far_problem):
+        by_seed = CafqaSearch(h2_far_problem, seed=5).run(max_evaluations=40)
+        by_rng = CafqaSearch(h2_far_problem, rng=np.random.default_rng(5)).run(
+            max_evaluations=40
+        )
+        assert by_seed.best_indices == by_rng.best_indices
+        assert by_seed.energy == by_rng.energy
+
+
+# --------------------------------------------------------------------------- #
+# orchestrator
+# --------------------------------------------------------------------------- #
+class TestSearchOrchestrator:
+    def test_single_restart_matches_direct_search(self, h2_far_problem):
+        direct = CafqaSearch(h2_far_problem, seed=4).run(max_evaluations=50)
+        multi = SearchOrchestrator(
+            h2_far_problem, num_restarts=1, max_workers=1, seed=4
+        ).run(max_evaluations=50)
+        assert multi.best.best_indices == direct.best_indices
+        assert multi.best.energy == direct.energy
+        assert multi.best.constrained_energy == direct.constrained_energy
+
+    def test_deterministic_and_worker_count_independent(self, h2_far_problem):
+        serial = SearchOrchestrator(
+            h2_far_problem, num_restarts=3, max_workers=1, seed=2
+        ).run(max_evaluations=40)
+        parallel = SearchOrchestrator(
+            h2_far_problem, num_restarts=3, max_workers=2, seed=2
+        ).run(max_evaluations=40)
+        assert [t.seed for t in serial.traces] == [t.seed for t in parallel.traces]
+        for a, b in zip(serial.traces, parallel.traces):
+            assert _observation_rows(a) == _observation_rows(b)
+        assert serial.best.energy == parallel.best.energy
+
+    def test_restarts_explore_distinct_warmups(self, h2_far_problem):
+        multi = SearchOrchestrator(
+            h2_far_problem, num_restarts=3, max_workers=1, seed=0
+        ).run(max_evaluations=40)
+        warmups = [
+            tuple(o.point for o in t.observations if o.phase == "warmup")
+            for t in multi.traces
+        ]
+        assert len(set(warmups)) == len(warmups)
+
+    def test_merge_reports_best_restart(self, h2_far_problem):
+        multi = SearchOrchestrator(
+            h2_far_problem, num_restarts=3, max_workers=1, seed=0
+        ).run(max_evaluations=40)
+        assert multi.best.energy == min(multi.energies)
+        assert multi.num_restarts == 3
+        assert multi.total_evaluations == sum(t.num_iterations for t in multi.traces)
+        assert multi.best_trace.energy == multi.best.energy
+
+    def test_validation(self, h2_far_problem):
+        with pytest.raises(OptimizationError):
+            SearchOrchestrator(h2_far_problem, num_restarts=0)
+        with pytest.raises(OptimizationError):
+            SearchOrchestrator(h2_far_problem, num_restarts=2, max_workers=0)
+
+
+# --------------------------------------------------------------------------- #
+# checkpoint / resume + end-to-end smoke
+# --------------------------------------------------------------------------- #
+class TestCheckpointResume:
+    def test_completed_run_resumes_from_checkpoints(self, h2_far_problem, tmp_path):
+        first = SearchOrchestrator(
+            h2_far_problem, num_restarts=2, max_workers=1, seed=1
+        ).run(max_evaluations=40, checkpoint_dir=tmp_path)
+        assert not any(t.from_checkpoint for t in first.traces)
+        second = SearchOrchestrator(
+            h2_far_problem, num_restarts=2, max_workers=1, seed=1
+        ).run(max_evaluations=40, checkpoint_dir=tmp_path)
+        assert all(t.from_checkpoint for t in second.traces)
+        assert second.best.energy == first.best.energy
+        assert _observation_rows(second.best_trace) == _observation_rows(
+            first.best_trace
+        )
+
+    def test_mid_search_checkpoint_resumes_to_identical_result(
+        self, h2_far_problem, tmp_path
+    ):
+        """Interrupting a restart mid-search and resuming reproduces the
+        uninterrupted run exactly (replay-from-cache is bit-identical)."""
+        uninterrupted = SearchOrchestrator(
+            h2_far_problem, num_restarts=2, max_workers=1, seed=3
+        ).run(max_evaluations=40)
+
+        checkpoint_dir = tmp_path / "ckpt"
+        SearchOrchestrator(
+            h2_far_problem, num_restarts=2, max_workers=1, seed=3
+        ).run(max_evaluations=40, checkpoint_dir=checkpoint_dir)
+
+        # Forge a mid-search interruption of restart 1: drop its "done"
+        # checkpoint and truncate its evaluation shard to the first half.
+        [checkpoint] = checkpoint_dir.glob("restart_*_001.json")
+        checkpoint.unlink()
+        [shard] = checkpoint_dir.glob("evals_r001_*.jsonl")
+        lines = shard.read_text().splitlines()
+        shard.write_text("\n".join(lines[: len(lines) // 2]) + "\n")
+
+        resumed = SearchOrchestrator(
+            h2_far_problem, num_restarts=2, max_workers=1, seed=3
+        ).run(max_evaluations=40, checkpoint_dir=checkpoint_dir)
+        assert resumed.traces[0].from_checkpoint
+        assert not resumed.traces[1].from_checkpoint
+        assert resumed.traces[1].cache_hits > 0  # replayed from the shard
+        assert resumed.best.energy == uninterrupted.best.energy
+        assert resumed.traces[1].best_indices == uninterrupted.traces[1].best_indices
+        assert _observation_rows(resumed.traces[1]) == _observation_rows(
+            uninterrupted.traces[1]
+        )
+
+    def test_stale_checkpoint_is_ignored(self, h2_far_problem, tmp_path):
+        SearchOrchestrator(h2_far_problem, num_restarts=1, max_workers=1, seed=1).run(
+            max_evaluations=40, checkpoint_dir=tmp_path
+        )
+        # A different budget invalidates the stored checkpoint.
+        redone = SearchOrchestrator(
+            h2_far_problem, num_restarts=1, max_workers=1, seed=1
+        ).run(max_evaluations=44, checkpoint_dir=tmp_path)
+        assert not redone.traces[0].from_checkpoint
+
+    def test_changed_search_options_invalidate_checkpoint(
+        self, h2_far_problem, tmp_path
+    ):
+        """A checkpoint from a differently-configured search must not be
+        trusted: search-loop options change the trajectory."""
+        first = SearchOrchestrator(
+            h2_far_problem, num_restarts=1, max_workers=1, seed=1,
+            warmup_fraction=0.5,
+        ).run(max_evaluations=40, checkpoint_dir=tmp_path)
+        redone = SearchOrchestrator(
+            h2_far_problem, num_restarts=1, max_workers=1, seed=1,
+            warmup_fraction=0.9,
+        ).run(max_evaluations=40, checkpoint_dir=tmp_path)
+        assert not redone.traces[0].from_checkpoint
+        first_warmups = sum(
+            1 for o in first.traces[0].observations if o.phase == "warmup"
+        )
+        redone_warmups = sum(
+            1 for o in redone.traces[0].observations if o.phase == "warmup"
+        )
+        assert redone_warmups > first_warmups
+
+    def test_sweeps_can_share_a_checkpoint_dir(self, h2_far_problem, tmp_path):
+        """Checkpoints are namespaced by objective fingerprint, so different
+        problems (e.g. bond lengths of a sweep) coexist in one directory."""
+        other_problem = make_problem("H2", 3.0)
+        for problem in (h2_far_problem, other_problem):
+            SearchOrchestrator(problem, num_restarts=1, max_workers=1, seed=1).run(
+                max_evaluations=40, checkpoint_dir=tmp_path
+            )
+        resumed = [
+            SearchOrchestrator(problem, num_restarts=1, max_workers=1, seed=1).run(
+                max_evaluations=40, checkpoint_dir=tmp_path
+            )
+            for problem in (h2_far_problem, other_problem)
+        ]
+        assert all(m.traces[0].from_checkpoint for m in resumed)
+
+    def test_evaluate_molecule_two_seeds_two_workers_smoke(self, h2_far_problem):
+        evaluation = evaluate_molecule(
+            "H2",
+            3.5,
+            max_evaluations=80,
+            seed=0,
+            problem=h2_far_problem,
+            num_seeds=2,
+            max_workers=2,
+        )
+        assert evaluation.multi_seed is not None
+        assert evaluation.multi_seed.num_restarts == 2
+        exact = h2_far_problem.exact_energy
+        assert abs(evaluation.cafqa_energy - exact) <= CHEMICAL_ACCURACY
+        assert evaluation.summary.chemically_accurate
+        assert evaluation.cafqa_energy <= evaluation.hf_energy + 1e-9
