@@ -13,9 +13,15 @@ re-runs the orchestrator against its checkpoint directory and asserts the
 resumed best energy matches the uninterrupted one exactly.
 
 Writes ``BENCH_orchestrator.json`` at the repo root.  Skipped unless
-``REPRO_BENCH=1``.  The >=2.5x speedup gate only applies on machines with at
-least 4 usable cores (process sharding cannot beat sequential on fewer); the
-measured numbers are recorded either way.
+``REPRO_BENCH=1``.
+
+Reporting is throughput-first: the headline numbers are evaluations/second
+for each leg (comparable across machines and PRs), and ``parallel_speedup``
+is explicitly labelled with the measured ``cpu_count`` — on a single-CPU
+host process sharding cannot beat sequential execution, so a ~1x ratio
+there is expected scheduler overhead, not a regression.  The >=2.5x
+parallel-speedup gate only applies on machines with at least 4 usable
+cores; the measured numbers are recorded either way.
 """
 
 from __future__ import annotations
@@ -91,8 +97,12 @@ def test_orchestrator_throughput_and_resume(tmp_path):
     assert resumed.best.best_indices == orchestrated.best.best_indices
     assert all(trace.from_checkpoint for trace in resumed.traces)
 
-    speedup = sequential_seconds / orchestrated_seconds
+    parallel_speedup = sequential_seconds / orchestrated_seconds
     cpus = os.cpu_count() or 1
+    total_evaluations = sum(result.num_iterations for result in sequential)
+    orchestrated_evaluations = orchestrated.total_evaluations
+    sequential_rate = total_evaluations / sequential_seconds
+    orchestrated_rate = orchestrated_evaluations / orchestrated_seconds
     payload = {
         "benchmark": "orchestrator_multi_seed_throughput",
         "molecule": "H2",
@@ -101,23 +111,31 @@ def test_orchestrator_throughput_and_resume(tmp_path):
         "max_evaluations": MAX_EVALUATIONS,
         "ansatz_reps": ANSATZ_REPS,
         "cpu_count": cpus,
+        "total_evaluations": total_evaluations,
         "sequential_seconds": round(sequential_seconds, 3),
+        "sequential_evals_per_sec": round(sequential_rate, 1),
         "orchestrated_seconds": round(orchestrated_seconds, 3),
+        "orchestrated_evals_per_sec": round(orchestrated_rate, 1),
         "resumed_seconds": round(resumed_seconds, 3),
-        "speedup": round(speedup, 2),
+        # Ratio of the two wall-clocks above; only meaningful as a parallel
+        # scaling figure when cpu_count >= num_workers.
+        "parallel_speedup": round(parallel_speedup, 2),
+        "parallel_speedup_valid": cpus >= NUM_WORKERS,
         "resume_speedup": round(sequential_seconds / max(resumed_seconds, 1e-9), 2),
         "best_energy": orchestrated.best.energy,
     }
     OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(
-        f"sequential {sequential_seconds:.2f}s, orchestrated {orchestrated_seconds:.2f}s "
-        f"(speedup {speedup:.2f}x on {cpus} cpus), resume {resumed_seconds:.2f}s"
+        f"sequential {sequential_rate:.1f} evals/s ({sequential_seconds:.2f}s), "
+        f"orchestrated {orchestrated_rate:.1f} evals/s ({orchestrated_seconds:.2f}s), "
+        f"parallel ratio {parallel_speedup:.2f}x on {cpus} cpu(s), "
+        f"resume {resumed_seconds:.2f}s"
     )
 
     if cpus >= NUM_WORKERS:
-        assert speedup >= 2.5
+        assert parallel_speedup >= 2.5
     else:
         pytest.skip(
-            f"only {cpus} usable core(s): speedup gate needs >= {NUM_WORKERS}; "
-            f"measured {speedup:.2f}x recorded in {OUTPUT_PATH.name}"
+            f"only {cpus} usable core(s): the parallel-speedup gate needs "
+            f">= {NUM_WORKERS}; per-eval throughput recorded in {OUTPUT_PATH.name}"
         )

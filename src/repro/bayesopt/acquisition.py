@@ -7,12 +7,15 @@ for the ablation benchmarks.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 
 import numpy as np
-from scipy.stats import norm
+from scipy.special import ndtr
 
 from repro.exceptions import OptimizationError
+
+_INV_SQRT_TWO_PI = 1.0 / math.sqrt(2.0 * math.pi)
 
 
 class AcquisitionFunction(ABC):
@@ -69,7 +72,11 @@ class ExpectedImprovement(AcquisitionFunction):
         std = np.maximum(np.asarray(std, dtype=float), 1e-12)
         improvement = best_observed - self._exploration - mean
         standardized = improvement / std
-        expected = improvement * norm.cdf(standardized) + std * norm.pdf(standardized)
+        # ndtr / the explicit Gaussian density compute exactly what
+        # ``scipy.stats.norm.cdf`` / ``.pdf`` would, minus the per-call
+        # distribution-machinery overhead that dominates on 200-point pools.
+        density = np.exp(-0.5 * standardized * standardized) * _INV_SQRT_TWO_PI
+        expected = improvement * ndtr(standardized) + std * density
         return -expected
 
 

@@ -8,7 +8,7 @@ evaluates the best-scoring unseen candidate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -19,6 +19,17 @@ from repro.bayesopt.space import DiscreteSpace
 from repro.exceptions import OptimizationError
 
 Point = Tuple[int, ...]
+
+
+def _point_key(point: Sequence[int]) -> bytes:
+    """Canonical hashable key for a point (int64 little-endian bytes)."""
+    return np.asarray(point, dtype=np.int64).tobytes()
+
+
+def _row_keys(rows: np.ndarray) -> List[bytes]:
+    """Per-row canonical keys of a ``(count, d)`` integer point array."""
+    rows = np.ascontiguousarray(rows, dtype=np.int64)
+    return [row.tobytes() for row in rows]
 
 
 @dataclass
@@ -42,26 +53,24 @@ class BayesianOptimizationResult:
     converged_iteration: int
 
     @property
-    def history(self) -> List[float]:
+    def history(self) -> np.ndarray:
         """Objective value per evaluation, in order."""
-        return [obs.value for obs in self.observations]
+        return np.fromiter(
+            (obs.value for obs in self.observations),
+            dtype=float,
+            count=len(self.observations),
+        )
 
     @property
-    def best_so_far(self) -> List[float]:
+    def best_so_far(self) -> np.ndarray:
         """Running minimum of the objective (the usual BO trace plot)."""
-        trace = []
-        best = np.inf
-        for obs in self.observations:
-            best = min(best, obs.value)
-            trace.append(best)
-        return trace
+        history = self.history
+        return np.minimum.accumulate(history) if history.size else history
 
     def iterations_to_reach(self, threshold: float) -> Optional[int]:
         """First evaluation index (1-based) whose running best is <= threshold."""
-        for index, value in enumerate(self.best_so_far, start=1):
-            if value <= threshold:
-                return index
-        return None
+        reached = np.nonzero(self.best_so_far <= threshold)[0]
+        return int(reached[0]) + 1 if reached.size else None
 
 
 class BayesianOptimizer:
@@ -150,7 +159,14 @@ class BayesianOptimizer:
         if max_evaluations < 1:
             raise OptimizationError("max_evaluations must be positive")
         observations: List[Observation] = []
-        seen: set[Point] = set()
+        # Points are tracked three ways, each serving a hot path: the
+        # Observation list is the API, the byte-string set is O(1) dedup for
+        # array-native candidate pools, and the growing feature/value buffers
+        # feed surrogate refits without re-packing tuples every round.
+        seen_keys: set[bytes] = set()
+        dimensions = self._space.num_dimensions
+        feature_buffer = np.empty((max(64, min(max_evaluations, 4096)), dimensions))
+        value_buffer = np.empty(len(feature_buffer))
         best_point: Optional[Point] = None
         best_value = np.inf
         stale = 0
@@ -162,12 +178,19 @@ class BayesianOptimizer:
 
         def record(point: Point, phase: str, value: Optional[float] = None) -> None:
             nonlocal best_point, best_value, stale, converged_iteration
+            nonlocal feature_buffer, value_buffer
             value = float(objective(point)) if value is None else float(value)
             observation = Observation(
                 point=point, value=value, iteration=len(observations) + 1, phase=phase
             )
+            count = len(observations)
+            if count >= len(feature_buffer):
+                feature_buffer = np.concatenate([feature_buffer, np.empty_like(feature_buffer)])
+                value_buffer = np.concatenate([value_buffer, np.empty_like(value_buffer)])
+            feature_buffer[count] = point
+            value_buffer[count] = value
             observations.append(observation)
-            seen.add(point)
+            seen_keys.add(_point_key(point))
             if value < best_value - 1e-12:
                 best_value = value
                 best_point = point
@@ -194,44 +217,45 @@ class BayesianOptimizer:
         for position, point in enumerate(pending_seeds):
             record(point, "seed", None if seed_values is None else seed_values[position])
 
-        # Warm-up phase: uniform random exploration.  The single sampling rule
-        # below (budget, attempts cap, dedup against everything already
-        # tracked) serves both execution modes.  When the objective is batched
-        # and no early stopping can trigger, the whole warm-up is sampled up
-        # front and submitted as one batch — the sampling stream is
-        # value-independent, so the candidates are exactly the sequential
-        # ones.  With patience set, sampling stays interleaved with recording
-        # so the RNG stream stops where the sequential loop would.
-        def sample_warmup_candidate(tracked: set[Point]) -> Optional[Point]:
-            candidate = self._space.sample(1, self._rng)[0]
-            if candidate in tracked and self._space.size > len(tracked):
-                return None
-            return candidate
-
+        # Warm-up phase: uniform random exploration.  The single acceptance
+        # rule (budget, attempts cap, dedup against everything already
+        # tracked, duplicates allowed once the space is exhausted) serves
+        # both execution modes.  When the objective is batched and no early
+        # stopping can trigger, the warm-up is drawn in whole-block vector
+        # samples and submitted as one batch; with patience set, sampling
+        # stays one draw per evaluation so no point is sampled or simulated
+        # past the stopping iteration.
         warmup_budget = min(self._warmup, max_evaluations - len(observations))
+        attempts_cap = 50 * self._warmup
         attempts = 0
         if batch_evaluate is not None and self._patience is None:
             planned: List[Point] = []
-            planned_seen = set(seen)
-            while len(planned) < warmup_budget and attempts < 50 * self._warmup:
-                attempts += 1
-                candidate = sample_warmup_candidate(planned_seen)
-                if candidate is None:
-                    continue
-                planned.append(candidate)
-                planned_seen.add(candidate)
+            planned_keys = set(seen_keys)
+            while len(planned) < warmup_budget and attempts < attempts_cap:
+                block = self._space.sample_array(
+                    min(warmup_budget - len(planned), attempts_cap - attempts), self._rng
+                )
+                attempts += len(block)
+                for row, key in zip(block.tolist(), _row_keys(block)):
+                    if key in planned_keys and self._space.size > len(planned_keys):
+                        continue
+                    planned.append(tuple(row))
+                    planned_keys.add(key)
+                    if len(planned) >= warmup_budget:
+                        break
             values = batch_evaluate(planned) if len(planned) > 1 else None
             for position, candidate in enumerate(planned):
                 record(
                     candidate, "warmup", None if values is None else values[position]
                 )
         else:
-            while warmup_budget > 0 and attempts < 50 * self._warmup:
+            while warmup_budget > 0 and attempts < attempts_cap:
                 attempts += 1
-                candidate = sample_warmup_candidate(seen)
-                if candidate is None:
+                block = self._space.sample_array(1, self._rng)
+                key = _row_keys(block)[0]
+                if key in seen_keys and self._space.size > len(seen_keys):
                     continue
-                record(candidate, "warmup")
+                record(tuple(block[0].tolist()), "warmup")
                 warmup_budget -= 1
                 if self._stopped(stale):
                     break
@@ -242,7 +266,10 @@ class BayesianOptimizer:
         rounds_since_fit = self._refit_interval
         while len(observations) < max_evaluations and not self._stopped(stale):
             if rounds_since_fit >= self._refit_interval or surrogate is None:
-                surrogate = self._fit_surrogate(observations)
+                surrogate = self._fit_surrogate(
+                    feature_buffer[: len(observations)],
+                    value_buffer[: len(observations)],
+                )
                 rounds_since_fit = 0
             # With early stopping active, propose one point at a time so no
             # batch is simulated past the stopping point (mirrors warm-up).
@@ -252,7 +279,7 @@ class BayesianOptimizer:
                 self._refit_interval - rounds_since_fit,
             )
             candidates = self._propose_batch(
-                surrogate, observations, seen, best_point, count
+                surrogate, best_value, seen_keys, best_point, count
             )
             if not candidates:
                 break
@@ -283,22 +310,22 @@ class BayesianOptimizer:
     def _stopped(self, stale: int) -> bool:
         return self._patience is not None and stale >= self._patience
 
-    def _fit_surrogate(self, observations: Sequence[Observation]) -> RandomForestRegressor:
+    def _fit_surrogate(
+        self, features: np.ndarray, values: np.ndarray
+    ) -> RandomForestRegressor:
         # Cap the surrogate's training set so model fitting stays cheap on long
         # runs: keep the best observations plus a random subsample of the rest.
         max_training = 400
-        if len(observations) > max_training:
-            ranked = sorted(observations, key=lambda obs: obs.value)
+        if len(values) > max_training:
+            ranked = np.argsort(values, kind="stable")
             keep = ranked[: max_training // 2]
             rest = ranked[max_training // 2 :]
             extra_indices = self._rng.choice(
                 len(rest), size=max_training - len(keep), replace=False
             )
-            training = keep + [rest[int(i)] for i in extra_indices]
-        else:
-            training = list(observations)
-        features = self._space.to_array([obs.point for obs in training])
-        targets = np.array([obs.value for obs in training])
+            training_rows = np.concatenate([keep, rest[extra_indices]])
+            features = features[training_rows]
+            values = values[training_rows]
         if self._surrogate_factory is not None:
             surrogate = self._surrogate_factory()
         else:
@@ -311,34 +338,51 @@ class BayesianOptimizer:
                 max_depth=10,
                 rng=np.random.default_rng(int(self._rng.integers(0, 2**63))),
             )
-        surrogate.fit(features, targets)
+        surrogate.fit(features, values)
         return surrogate
 
     def _propose_batch(
         self,
         surrogate: RandomForestRegressor,
-        observations: Sequence[Observation],
-        seen: set[Point],
+        best_value: float,
+        seen_keys: set[bytes],
         best_point: Optional[Point],
         count: int,
     ) -> List[Point]:
-        """The ``count`` best-scoring unseen candidates from one scored pool."""
-        pool: List[Point] = self._space.sample(self._pool_size // 2, self._rng)
+        """The ``count`` best-scoring unseen candidates from one scored pool.
+
+        The pool lives as one ``(pool_size, d)`` integer array from sampling
+        through scoring; points become tuples only for the returned winners.
+        """
+        half = self._pool_size // 2
+        pool = self._space.sample_array(half, self._rng)
         if best_point is not None:
-            pool += self._space.neighbors(
-                best_point, self._rng, count=self._pool_size - len(pool)
+            pool = np.concatenate(
+                [
+                    pool,
+                    self._space.neighbors_array(
+                        best_point, self._rng, count=self._pool_size - half
+                    ),
+                ]
             )
-        unseen = [point for point in dict.fromkeys(pool) if point not in seen]
-        if not unseen:
+        # Order-preserving dedup (first occurrence wins, like dict.fromkeys).
+        _, first_occurrence = np.unique(pool, axis=0, return_index=True)
+        pool = pool[np.sort(first_occurrence)]
+        unseen_rows = [
+            index
+            for index, key in enumerate(_row_keys(pool))
+            if key not in seen_keys
+        ]
+        if not unseen_rows:
             # Space may be nearly exhausted; fall back to any unseen random point.
-            for _ in range(1000):
-                candidate = self._space.sample(1, self._rng)[0]
-                if candidate not in seen:
-                    return [candidate]
+            for _ in range(10):
+                block = self._space.sample_array(100, self._rng)
+                for row, key in zip(block.tolist(), _row_keys(block)):
+                    if key not in seen_keys:
+                        return [tuple(row)]
             return []
-        features = self._space.to_array(unseen)
-        mean, std = surrogate.predict_with_uncertainty(features)
-        best_observed = min(obs.value for obs in observations)
-        scores = self._acquisition.score(mean, std, best_observed, self._rng)
-        order = np.argsort(scores, kind="stable")
-        return [unseen[int(index)] for index in order[:count]]
+        unseen = pool[unseen_rows]
+        mean, std = surrogate.predict_with_uncertainty(unseen.astype(float))
+        scores = self._acquisition.score(mean, std, best_value, self._rng)
+        order = np.argsort(scores, kind="stable")[:count]
+        return [tuple(row) for row in unseen[order].tolist()]

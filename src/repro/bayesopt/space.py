@@ -8,7 +8,7 @@ also be unit-tested on synthetic combinatorial problems.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +25,8 @@ class DiscreteSpace:
         if any(c < 1 for c in cards):
             raise OptimizationError("every dimension needs at least one value")
         self._cardinalities = tuple(cards)
+        self._cards = np.array(cards, dtype=np.int64)
+        self._mutable = self._cards > 1
 
     @classmethod
     def clifford(cls, num_parameters: int) -> "DiscreteSpace":
@@ -61,10 +63,59 @@ class DiscreteSpace:
         return tuple(int(v) for v in point)
 
     # ------------------------------------------------------------------ #
+    def sample_array(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform random samples (with replacement) as a ``(count, d)`` array.
+
+        One vectorized draw for the whole block — the array-native hot path
+        used by the optimizer's warm-up and candidate pools.
+        """
+        return rng.integers(0, self._cards, size=(int(count), len(self._cards)))
+
     def sample(self, count: int, rng: np.random.Generator) -> List[Tuple[int, ...]]:
-        """Uniform random samples (with replacement)."""
-        columns = [rng.integers(0, c, size=count) for c in self._cardinalities]
-        return [tuple(int(column[i]) for column in columns) for i in range(count)]
+        """Uniform random samples (with replacement) as tuples."""
+        return [tuple(row) for row in self.sample_array(count, rng).tolist()]
+
+    def neighbors_array(
+        self,
+        point: Sequence[int],
+        rng: np.random.Generator,
+        count: int,
+        mutation_rate: float = 0.15,
+    ) -> np.ndarray:
+        """Random mutations of ``point`` as a ``(count, d)`` array.
+
+        Each coordinate of each mutant flips with probability
+        ``mutation_rate`` to a uniformly random *different* value (via a
+        uniform non-zero offset modulo the cardinality).  A mutant with no
+        flips gets one uniformly chosen coordinate flipped instead — like
+        the per-point loop this replaces, that fallback draws over *all*
+        dimensions, so in a mixed space it can land on a cardinality-1
+        dimension and leave the mutant equal to ``point``.  In spaces whose
+        dimensions all have at least two values (e.g. the Clifford space)
+        every mutant differs from ``point``.
+        """
+        point = np.asarray(self.validate(point), dtype=np.int64)
+        count = int(count)
+        dims = len(self._cards)
+        flip = rng.random((count, dims)) < mutation_rate
+        flip &= self._mutable
+        # A uniform offset in [1, cardinality) modulo the cardinality is a
+        # uniform draw over the values different from the current one.
+        # Cardinality-1 dimensions never flip; clip keeps integers() happy.
+        offsets = rng.integers(1, np.maximum(self._cards, 2), size=(count, dims))
+        mutated = np.where(flip, (point + offsets) % self._cards, point)
+        unchanged = ~flip.any(axis=1)
+        if unchanged.any():
+            stuck = np.nonzero(unchanged)[0]
+            dimensions = rng.integers(0, dims, size=len(stuck))
+            forced = (
+                point[dimensions]
+                + rng.integers(1, np.maximum(self._cards[dimensions], 2))
+            ) % self._cards[dimensions]
+            mutated[stuck, dimensions] = np.where(
+                self._mutable[dimensions], forced, mutated[stuck, dimensions]
+            )
+        return mutated
 
     def neighbors(
         self,
@@ -74,27 +125,15 @@ class DiscreteSpace:
         mutation_rate: float = 0.15,
     ) -> List[Tuple[int, ...]]:
         """Random mutations of ``point`` (at least one coordinate changes)."""
-        point = self.validate(point)
-        results: List[Tuple[int, ...]] = []
-        for _ in range(count):
-            mutated = list(point)
-            changed = False
-            for dimension, cardinality in enumerate(self._cardinalities):
-                if cardinality > 1 and rng.random() < mutation_rate:
-                    choices = [v for v in range(cardinality) if v != mutated[dimension]]
-                    mutated[dimension] = int(rng.choice(choices))
-                    changed = True
-            if not changed:
-                dimension = int(rng.integers(0, self.num_dimensions))
-                cardinality = self._cardinalities[dimension]
-                if cardinality > 1:
-                    choices = [v for v in range(cardinality) if v != mutated[dimension]]
-                    mutated[dimension] = int(rng.choice(choices))
-            results.append(tuple(mutated))
-        return results
+        return [
+            tuple(row)
+            for row in self.neighbors_array(point, rng, count, mutation_rate).tolist()
+        ]
 
-    def to_array(self, points: Iterable[Sequence[int]]) -> np.ndarray:
+    def to_array(self, points) -> np.ndarray:
         """Stack points into a float feature matrix for the surrogate model."""
+        if isinstance(points, np.ndarray):
+            return points.astype(float, copy=False)
         return np.asarray([list(point) for point in points], dtype=float)
 
     def __repr__(self) -> str:

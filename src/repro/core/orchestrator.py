@@ -544,11 +544,20 @@ def run_restart(task: RestartTask) -> SeedTrace:
         **task.search_options,
     )
 
-    observed: List[Observation] = []
+    # Running progress state, updated in O(1) per observation: re-scanning
+    # the observation list at every checkpoint flush would make the callback
+    # path O(n^2 / interval) over a long search.
+    observed_count = 0
+    best_observation: Optional[Observation] = None
 
     def on_observation(observation: Observation) -> None:
-        observed.append(observation)
-        if len(observed) % max(1, task.checkpoint_interval) != 0:
+        nonlocal observed_count, best_observation
+        observed_count += 1
+        # Strict comparison keeps the earliest of tied values, matching
+        # ``min(..., key=value)`` over the full history.
+        if best_observation is None or observation.value < best_observation.value:
+            best_observation = observation
+        if observed_count % max(1, task.checkpoint_interval) != 0:
             return
         if cache is not None:
             objective.flush()
@@ -556,16 +565,15 @@ def run_restart(task: RestartTask) -> SeedTrace:
             # Progress-only payload: resume replays from the evaluation
             # shards, so re-serializing the whole observation list here
             # would be O(n^2) dead weight over a long search.
-            best = min(observed, key=lambda o: o.value)
             _write_json_atomic(
                 _checkpoint_path(task),
                 _checkpoint_payload(
                     task,
                     "running",
-                    evaluations_done=len(observed),
-                    phase=observed[-1].phase,
-                    best_value_so_far=best.value,
-                    best_point_so_far=[int(v) for v in best.point],
+                    evaluations_done=observed_count,
+                    phase=observation.phase,
+                    best_value_so_far=best_observation.value,
+                    best_point_so_far=[int(v) for v in best_observation.point],
                 ),
             )
 

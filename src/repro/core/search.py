@@ -92,6 +92,7 @@ class CafqaSearch:
         penalty_weight: Optional[float] = None,
         warmup_fraction: float = 0.5,
         candidate_pool_size: int = 200,
+        surrogate_factory: Optional[Callable] = None,
         acquisition: Optional[AcquisitionFunction] = None,
         convergence_patience: Optional[int] = None,
         seed_hartree_fock: bool = True,
@@ -128,6 +129,9 @@ class CafqaSearch:
             )
         self._warmup_fraction = float(warmup_fraction)
         self._pool_size = int(candidate_pool_size)
+        # Overridable surrogate constructor (ablations / before-after perf
+        # benchmarks); None selects the optimizer's default forest.
+        self._surrogate_factory = surrogate_factory
         self._acquisition = acquisition
         self._patience = convergence_patience
         self._seed_hf = bool(seed_hartree_fock)
@@ -174,6 +178,7 @@ class CafqaSearch:
             space,
             warmup_evaluations=warmup,
             candidate_pool_size=self._pool_size,
+            surrogate_factory=self._surrogate_factory,
             acquisition=self._acquisition,
             seed_points=seeds,
             convergence_patience=self._patience,
@@ -268,14 +273,25 @@ def coordinate_descent(
         candidate[dimension] = value
         return tuple(candidate)
 
-    def sweep_candidates(point: tuple, dimensions: range) -> tuple[List[tuple], np.ndarray]:
-        candidates = [
-            substitute(point, dimension, candidate_value)
-            for dimension in dimensions
-            for candidate_value in range(cardinality)
-            if candidate_value != point[dimension]
-        ]
-        return candidates, batch_evaluate(candidates)
+    def sweep_candidates(point: tuple, num_dimensions: int) -> tuple[List[tuple], np.ndarray]:
+        """All single-coordinate mutations of ``point``, built as one array.
+
+        Row order matches the scalar loop below — dimension-major, candidate
+        values ascending with the incumbent value skipped — so the recorded
+        observations are identical either way.
+        """
+        base = np.asarray(point, dtype=np.int64)
+        values = np.tile(np.arange(cardinality, dtype=np.int64), (num_dimensions, 1))
+        alternates = values[values != base[:, None]].reshape(
+            num_dimensions, cardinality - 1
+        )
+        mutated_dimension = np.repeat(np.arange(num_dimensions), cardinality - 1)
+        matrix = np.tile(base, (len(mutated_dimension), 1))
+        matrix[np.arange(len(mutated_dimension)), mutated_dimension] = (
+            alternates.reshape(-1)
+        )
+        candidates = [tuple(row) for row in matrix.tolist()]
+        return candidates, batch_evaluate(matrix)
 
     current = tuple(int(v) for v in start_point)
     current_value = float(objective(current))
@@ -285,8 +301,8 @@ def coordinate_descent(
     for _ in range(max_sweeps):
         improved = False
         batched: dict = {}
-        if batch_evaluate is not None and dimensions:
-            points, values = sweep_candidates(current, range(dimensions))
+        if batch_evaluate is not None and dimensions and cardinality > 1:
+            points, values = sweep_candidates(current, dimensions)
             batched = dict(zip(points, values))
         for dimension in range(dimensions):
             for candidate_value in range(cardinality):

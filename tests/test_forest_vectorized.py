@@ -1,0 +1,232 @@
+"""Vectorized surrogate engine: reference-parity properties and golden traces.
+
+Two safety nets for the PR-3 forest rewrite:
+
+* **Oracle parity** — in ``reference_parity`` mode the flat-array engine must
+  reproduce the original ``_Node``-based engine *bit for bit* (same splits,
+  same thresholds, same leaf values, same RNG stream position) when both are
+  driven from the same generator state.  The datasets mix continuous and
+   4-valued integer features because the latter are rife with duplicated and
+  mirrored partitions — exactly the ties that make split arbitration hard.
+* **Golden traces** — the production search uses the engine's fast mode,
+  whose RNG consumption differs from the reference (argsort-of-uniform
+  feature draws, vectorized space sampling), so seeded trajectories changed
+  at the PR-3 cutover.  The traces below pin the new trajectories; any
+  unintended change to sampling order, tie-breaking, or surrogate fitting
+  shows up here as a hard failure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bayesopt import BayesianOptimizer, DiscreteSpace, RandomForestRegressor
+from repro.bayesopt._reference import ReferenceDecisionTree, ReferenceRandomForest
+from repro.bayesopt.forest import DecisionTreeRegressor
+from repro.core.search import CafqaSearch
+
+
+def _flatten_reference(root):
+    """Reference tree -> flat arrays in the engine's left-first pre-order."""
+    features, thresholds, values = [], [], []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        features.append(-1 if node.feature is None else node.feature)
+        thresholds.append(node.threshold)
+        values.append(node.value)
+        if node.feature is not None:
+            stack.append(node.right)
+            stack.append(node.left)
+    return np.array(features), np.array(thresholds), np.array(values)
+
+
+def _random_dataset(seed: int):
+    generator = np.random.default_rng(seed)
+    num_samples = int(generator.integers(20, 220))
+    num_features = int(generator.integers(2, 30))
+    if seed % 2:
+        features = generator.integers(0, 4, size=(num_samples, num_features)).astype(float)
+    else:
+        features = generator.normal(size=(num_samples, num_features))
+    targets = generator.normal(size=num_samples) + 2.0 * features[:, 0]
+    return features, targets
+
+
+class TestReferenceParity:
+    """Same RNG stream => identical trees/forests to the reference engine."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_tree_splits_match_reference(self, seed):
+        features, targets = _random_dataset(seed)
+        max_features = max(1, int(0.7 * features.shape[1]))
+        min_leaf = 1 if seed % 5 == 0 else 2
+        rng_vec = np.random.default_rng(seed)
+        rng_ref = np.random.default_rng(seed)
+        vectorized = DecisionTreeRegressor(
+            max_depth=10,
+            max_features=max_features,
+            min_samples_leaf=min_leaf,
+            rng=rng_vec,
+            reference_parity=True,
+        ).fit(features, targets)
+        reference = ReferenceDecisionTree(
+            max_depth=10,
+            max_features=max_features,
+            min_samples_leaf=min_leaf,
+            rng=rng_ref,
+        ).fit(features, targets)
+
+        flat_feature, flat_threshold, _, _, flat_value = vectorized.node_arrays()
+        ref_feature, ref_threshold, ref_value = _flatten_reference(reference._root)
+        assert np.array_equal(flat_feature, ref_feature)
+        assert np.array_equal(flat_threshold, ref_threshold)
+        assert np.array_equal(flat_value, ref_value)
+        # Both engines must also have consumed the RNG identically.
+        assert rng_vec.integers(0, 2**31) == rng_ref.integers(0, 2**31)
+
+        queries = np.random.default_rng(seed + 99).integers(
+            0, 4, size=(64, features.shape[1])
+        ).astype(float)
+        assert np.array_equal(vectorized.predict(queries), reference.predict(queries))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_forest_predictions_match_reference(self, seed):
+        generator = np.random.default_rng(seed)
+        features = generator.integers(0, 4, size=(120, 10)).astype(float)
+        targets = generator.normal(size=120)
+        vectorized = RandomForestRegressor(
+            num_trees=6,
+            max_depth=8,
+            rng=np.random.default_rng(seed + 40),
+            reference_parity=True,
+        ).fit(features, targets)
+        reference = ReferenceRandomForest(
+            num_trees=6, max_depth=8, rng=np.random.default_rng(seed + 40)
+        ).fit(features, targets)
+        queries = generator.integers(0, 4, size=(50, 10)).astype(float)
+        mean_vec, std_vec = vectorized.predict_with_uncertainty(queries)
+        mean_ref, std_ref = reference.predict_with_uncertainty(queries)
+        assert np.array_equal(mean_vec, mean_ref)
+        assert np.array_equal(std_vec, std_ref)
+
+
+class TestFastMode:
+    """The production (fast) mode: deterministic, structurally valid trees."""
+
+    def test_deterministic_given_rng_state(self):
+        features, targets = _random_dataset(3)
+        first = RandomForestRegressor(num_trees=5, rng=np.random.default_rng(11)).fit(
+            features, targets
+        )
+        second = RandomForestRegressor(num_trees=5, rng=np.random.default_rng(11)).fit(
+            features, targets
+        )
+        queries = np.random.default_rng(0).normal(size=(40, features.shape[1]))
+        mean_a, std_a = first.predict_with_uncertainty(queries)
+        mean_b, std_b = second.predict_with_uncertainty(queries)
+        assert np.array_equal(mean_a, mean_b)
+        assert np.array_equal(std_a, std_b)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_tree_structure_is_valid(self, seed):
+        features, targets = _random_dataset(seed)
+        tree = DecisionTreeRegressor(
+            max_depth=9, min_samples_leaf=2, rng=np.random.default_rng(seed)
+        ).fit(features, targets)
+        feature, threshold, left, right, value = tree.node_arrays()
+        internal = feature >= 0
+        # Internal nodes have two children; leaves have none.
+        assert np.all(left[internal] > 0) and np.all(right[internal] > 0)
+        assert np.all(left[~internal] == -1) and np.all(right[~internal] == -1)
+        # Every non-root node is referenced exactly once as a child.
+        children = np.concatenate([left[internal], right[internal]])
+        assert sorted(children.tolist()) == list(range(1, tree.node_count))
+        assert np.all(np.isfinite(value))
+
+    def test_tree_prediction_matches_manual_traversal(self):
+        features, targets = _random_dataset(4)
+        tree = DecisionTreeRegressor(rng=np.random.default_rng(2)).fit(features, targets)
+        feature, threshold, left, right, value = tree.node_arrays()
+        queries = np.random.default_rng(5).normal(size=(30, features.shape[1]))
+
+        def manual(row):
+            node = 0
+            while feature[node] >= 0:
+                node = left[node] if row[feature[node]] <= threshold[node] else right[node]
+            return value[node]
+
+        expected = np.array([manual(row) for row in queries])
+        assert np.array_equal(tree.predict(queries), expected)
+
+    def test_forest_fused_predict_matches_per_tree(self):
+        features, targets = _random_dataset(6)
+        forest = RandomForestRegressor(num_trees=7, rng=np.random.default_rng(9)).fit(
+            features, targets
+        )
+        queries = np.random.default_rng(1).normal(size=(25, features.shape[1]))
+        stacked = np.stack([tree.predict(queries) for tree in forest.trees])
+        mean, std = forest.predict_with_uncertainty(queries)
+        assert np.array_equal(mean, stacked.mean(axis=0))
+        assert np.array_equal(std, stacked.std(axis=0))
+
+    def test_fit_quality_on_additive_function(self):
+        generator = np.random.default_rng(1)
+        features = generator.integers(0, 4, size=(300, 8)).astype(float)
+        targets = np.sum(features, axis=1) + generator.normal(0, 0.1, size=300)
+        forest = RandomForestRegressor(num_trees=10, seed=0).fit(features, targets)
+        mean, std = forest.predict_with_uncertainty(features[:20])
+        assert np.mean(np.abs(mean - targets[:20])) < 1.0
+        assert np.all(std >= 0)
+
+
+class TestGoldenTraces:
+    """Pin the post-cutover seeded trajectories (see module docstring)."""
+
+    def test_optimizer_trajectory_quadratic(self):
+        def quadratic(point):
+            target = (1, 2, 3, 0)
+            return float(sum((a - b) ** 2 for a, b in zip(point, target)))
+
+        space = DiscreteSpace.clifford(4)
+        result = BayesianOptimizer(
+            space, warmup_evaluations=12, seed=5, seed_points=[(0, 0, 1, 0)]
+        ).minimize(quadratic, max_evaluations=30)
+        assert result.best_point == (1, 2, 3, 0)
+        assert result.best_value == 0.0
+        assert [obs.point for obs in result.observations[:16]] == [
+            (0, 0, 1, 0),
+            (2, 3, 0, 3),
+            (1, 2, 2, 1),
+            (3, 0, 1, 1),
+            (2, 1, 0, 0),
+            (0, 0, 0, 3),
+            (0, 2, 3, 0),
+            (1, 1, 1, 3),
+            (0, 3, 3, 3),
+            (0, 1, 2, 1),
+            (2, 2, 2, 0),
+            (3, 2, 3, 1),
+            (1, 3, 0, 0),
+            (0, 2, 2, 0),
+            (1, 2, 2, 0),
+            (1, 2, 3, 0),
+        ]
+
+    def test_cafqa_search_h2_trace(self, h2_stretched_problem):
+        result = CafqaSearch(h2_stretched_problem, ansatz_reps=1, seed=7).run(
+            max_evaluations=40
+        )
+        assert result.best_indices == [1, 0, 0, 2, 0, 0, 3, 3]
+        assert result.energy == pytest.approx(-0.931638909768187, rel=1e-9)
+        assert result.num_iterations == 64
+        observations = result.search_result.observations
+        assert observations[0].phase == "seed"
+        assert [obs.point for obs in observations[:5]] == [
+            (0, 0, 0, 0, 2, 0, 0, 0),
+            (3, 2, 2, 3, 2, 3, 3, 0),
+            (0, 1, 1, 3, 3, 0, 1, 3),
+            (0, 3, 0, 1, 3, 1, 1, 1),
+            (2, 1, 3, 1, 1, 2, 2, 2),
+        ]
