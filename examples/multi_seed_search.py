@@ -1,40 +1,48 @@
 #!/usr/bin/env python3
 """Multi-seed CAFQA search: parallel restarts, caching, and checkpoint/resume.
 
-The paper's reported energies come from best-of-many-restart searches.  This
-example shards N independent restarts (distinct warm-up seeds) across worker
-processes with :class:`repro.core.SearchOrchestrator`, prints the per-seed
-spread, and demonstrates resume: run it twice with the same ``--checkpoint``
-directory and the second run loads every restart from its checkpoint instead
-of recomputing.
+The paper's reported energies come from best-of-many-restart searches.  A
+single ``repro.run`` call with ``num_seeds=N`` shards N independent restarts
+(distinct warm-up seeds) across worker processes, prints the per-seed
+spread, and demonstrates resume: run it twice with the same ``checkpoint``
+directory and the second run loads every restart from its checkpoint
+instead of recomputing — the spec's ``options_digest`` is what validates
+the stored checkpoints.
 
 Run:  python examples/multi_seed_search.py [num_seeds] [num_workers] [checkpoint_dir]
+
+Environment: REPRO_EXAMPLE_EVALS / REPRO_EXAMPLE_SEEDS override the budget
+and restart count (CI smoke runs set tiny values).
 """
 
+import os
 import sys
 
-from repro.chemistry import make_problem
-from repro.core import SearchOrchestrator
+import repro
 
 
 def main() -> None:
-    num_seeds = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    num_seeds = int(
+        sys.argv[1] if len(sys.argv) > 1 else os.environ.get("REPRO_EXAMPLE_SEEDS", "4")
+    )
     num_workers = int(sys.argv[2]) if len(sys.argv) > 2 else None
     checkpoint_dir = sys.argv[3] if len(sys.argv) > 3 else None
+    budget = int(os.environ.get("REPRO_EXAMPLE_EVALS", "120"))
 
-    bond_length = 2.5
-    print(f"Building the H2 problem at {bond_length:.2f} A ...")
-    problem = make_problem("H2", bond_length)
-
-    print(f"Running {num_seeds} independent CAFQA restarts "
-          f"(workers={'auto' if num_workers is None else num_workers}) ...")
-    orchestrator = SearchOrchestrator(
-        problem,
-        num_restarts=num_seeds,
+    spec = repro.RunSpec(
+        problem="H2",
+        problem_options={"bond_length": 2.5},
+        max_evaluations=budget,
+        num_seeds=num_seeds,
         max_workers=num_workers,
         seed=0,
+        checkpoint_dir=checkpoint_dir,
     )
-    result = orchestrator.run(max_evaluations=120, checkpoint_dir=checkpoint_dir)
+    print(f"Running {spec!r}")
+    print(f"  (workers={'auto' if num_workers is None else num_workers}, "
+          f"options digest {spec.options_digest()})")
+    report = repro.run(spec)
+    result = report.result
 
     print(f"{'seed':>22} {'energy (Ha)':>14} {'iters':>6} {'resumed':>8}")
     for trace in result.traces:
@@ -43,11 +51,11 @@ def main() -> None:
             f"{'yes' if trace.from_checkpoint else 'no':>8}"
         )
 
-    print(f"\nbest    : {result.best.energy:.6f} Ha (restart {result.best_trace.restart_index})")
+    print(f"\nbest    : {report.energy:.6f} Ha (restart {result.best_trace.restart_index})")
     print(f"mean/std: {result.mean_energy:.6f} / {result.std_energy:.2e} Ha")
-    print(f"HF      : {result.hf_energy:.6f} Ha")
-    if result.exact_energy is not None:
-        print(f"exact   : {result.exact_energy:.6f} Ha (error {result.error:.2e} Ha)")
+    print(f"HF      : {report.reference_energy:.6f} Ha")
+    if report.exact_energy is not None:
+        print(f"exact   : {report.exact_energy:.6f} Ha (error {report.error:.2e} Ha)")
     if checkpoint_dir:
         print(f"\nCheckpoints in {checkpoint_dir!r}; rerun this command to resume from them.")
 

@@ -3,21 +3,25 @@
 
 Runs the full CAFQA-then-VQE pipeline for H2 at a stretched geometry:
 
-1. build the qubit Hamiltonian,
-2. find the CAFQA Clifford initialization classically,
-3. tune the ansatz with SPSA on an ideal simulator and on a noisy fake device,
+1. find the CAFQA Clifford initialization through the unified front door
+   (``repro.run``, which also builds the qubit Hamiltonian),
+2. tune the ansatz with SPSA on an ideal simulator and on a noisy fake device,
    starting from either the CAFQA point or the Hartree-Fock point.
 
 Expect the CAFQA-initialized runs to start at a lower energy and to reach the
 Hartree-Fock run's final energy in fewer iterations.
 
 Run:  python examples/noisy_vqe_bootstrap.py [bond_length] [vqe_iterations]
+
+Environment: REPRO_EXAMPLE_EVALS overrides the search budget (CI smoke runs
+set a tiny value).
 """
 
+import os
 import sys
 
-from repro.chemistry import make_problem
-from repro.core import CafqaSearch, VQERunner
+import repro
+from repro.core import VQERunner
 from repro.noise import fake_device
 from repro.optim import SPSA
 
@@ -25,18 +29,24 @@ from repro.optim import SPSA
 def main() -> None:
     bond_length = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
     vqe_iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 60
+    budget = int(os.environ.get("REPRO_EXAMPLE_EVALS", "120"))
 
     print(f"H2 at {bond_length:.2f} A")
-    problem = make_problem("H2", bond_length)
-    print(f"  Hartree-Fock : {problem.hf_energy:.6f} Ha")
-    print(f"  exact        : {problem.exact_energy:.6f} Ha")
-
-    search = CafqaSearch(problem, seed=0)
-    cafqa = search.run(max_evaluations=120)
+    report = repro.run(
+        repro.RunSpec(
+            problem="H2",
+            problem_options={"bond_length": bond_length},
+            max_evaluations=budget,
+            seed=0,
+        )
+    )
+    problem, cafqa = report.problem, report.best
+    print(f"  Hartree-Fock : {report.reference_energy:.6f} Ha")
+    print(f"  exact        : {report.exact_energy:.6f} Ha")
     print(f"  CAFQA        : {cafqa.energy:.6f} Ha  ({cafqa.num_iterations} classical iterations)\n")
 
     for backend_name, noise in (("ideal simulator", None), ("noisy fake device", fake_device("casablanca_like"))):
-        runner = VQERunner(problem, ansatz=search.ansatz, noise_model=noise, optimizer=SPSA(seed=1))
+        runner = VQERunner(problem, ansatz=cafqa.ansatz, noise_model=noise, optimizer=SPSA(seed=1))
         from_cafqa = runner.run_from_cafqa(cafqa, max_iterations=vqe_iterations)
         from_hf = runner.run_from_hartree_fock(max_iterations=vqe_iterations)
 

@@ -1,55 +1,63 @@
 #!/usr/bin/env python3
-"""Quickstart: CAFQA initialization for H2 ground-state estimation.
+"""Quickstart: CAFQA initialization for H2 through the unified front door.
 
-Builds the H2 qubit Hamiltonian from scratch (STO-3G integrals, Hartree-Fock,
-parity mapping with two-qubit reduction), searches the Clifford space of a
-hardware-efficient ansatz with Bayesian optimization, and compares the CAFQA
-initialization against Hartree-Fock and the exact ground state.
+One ``repro.run`` call builds the H2 qubit Hamiltonian from scratch (STO-3G
+integrals, Hartree-Fock, parity mapping with two-qubit reduction), searches
+the Clifford space of a hardware-efficient ansatz with Bayesian
+optimization, and reports the CAFQA initialization against Hartree-Fock and
+the exact ground state.  The same entrypoint runs any registered problem —
+try ``problem="ising_chain"`` or ``problem="maxcut_ring"``.
 
 Run:  python examples/quickstart.py [bond_length_in_angstrom]
+
+Environment: REPRO_EXAMPLE_EVALS overrides the search budget (CI smoke runs
+set a tiny value so this example stays fast and can't rot).
 """
 
+import os
 import sys
 
-from repro.chemistry import make_problem
-from repro.core import CafqaSearch, correlation_energy_recovered, relative_accuracy
+import repro
+from repro.core import correlation_energy_recovered, relative_accuracy
 
 
 def main() -> None:
     bond_length = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
+    budget = int(os.environ.get("REPRO_EXAMPLE_EVALS", "150"))
 
-    print(f"Building the H2 problem at {bond_length:.2f} A ...")
-    problem = make_problem("H2", bond_length)
-    print(f"  qubits          : {problem.num_qubits}")
-    print(f"  Pauli terms     : {problem.hamiltonian.num_terms}")
-    print(f"  Hartree-Fock    : {problem.hf_energy:.6f} Ha")
-    print(f"  exact (FCI)     : {problem.exact_energy:.6f} Ha")
+    spec = repro.RunSpec(
+        problem="H2",
+        problem_options={"bond_length": bond_length},
+        max_evaluations=budget,
+        seed=0,
+    )
+    print(f"Running {spec!r}")
+    report = repro.run(spec)
 
-    print("Searching the Clifford space (Bayesian optimization + refinement) ...")
-    search = CafqaSearch(problem, seed=0)
-    result = search.run(max_evaluations=150)
-
-    print(f"  CAFQA energy    : {result.energy:.6f} Ha")
-    print(f"  search iterations: {result.num_iterations}")
-    print(f"  Clifford angles : {[round(a, 3) for a in result.best_angles]}")
+    problem = report.problem
+    print(f"  qubits           : {problem.num_qubits}")
+    print(f"  Pauli terms      : {problem.hamiltonian.num_terms}")
+    print(f"  Hartree-Fock     : {report.reference_energy:.6f} Ha")
+    print(f"  exact (FCI)      : {report.exact_energy:.6f} Ha")
+    print(f"  CAFQA energy     : {report.energy:.6f} Ha")
+    print(f"  search iterations: {report.result.total_evaluations}")
 
     recovered = correlation_energy_recovered(
-        result.energy, problem.hf_energy, problem.exact_energy
+        report.energy, report.reference_energy, report.exact_energy
     )
-    ratio = relative_accuracy(result.energy, problem.hf_energy, problem.exact_energy)
+    ratio = relative_accuracy(report.energy, report.reference_energy, report.exact_energy)
     print(f"  correlation energy recovered : {recovered:.1f}%")
     print(f"  error reduction vs HF        : {ratio:.1f}x")
 
     print("The Clifford-initialized circuit (ready for VQE tuning on a device):")
-    print(result.circuit.draw())
+    print(report.best.circuit.draw())
 
-    print("\nFor best-of-N-restart searches sharded across worker processes")
-    print("(with evaluation caching and checkpoint/resume), go through the")
-    print("orchestrator — see examples/multi_seed_search.py:")
-    print("    from repro.core import SearchOrchestrator")
-    print("    multi = SearchOrchestrator(problem, num_restarts=8, seed=0).run(")
-    print("        max_evaluations=150, checkpoint_dir='h2_checkpoints')")
-    print("    best = multi.best  # a CafqaResult, as above")
+    print("\nEverything is declarative: the spec round-trips through JSON")
+    print("(repro.RunSpec.from_json(spec.to_json())), and adding")
+    print("num_seeds=8, checkpoint_dir='ckpt' turns the same call into a")
+    print("best-of-8-restarts search with resume — see")
+    print("examples/multi_seed_search.py.  Registered problems:")
+    print(f"    {', '.join(repro.problems.list_problems())}")
 
 
 if __name__ == "__main__":

@@ -14,7 +14,21 @@ The package layers three groups of subsystems:
   Bayesian-optimization search over the discrete Clifford space
   (:mod:`repro.bayesopt`), post-CAFQA VQE tuning (:mod:`repro.optim`), and the
   accuracy metrics, plus per-figure experiment drivers
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`);
+* the problem-agnostic front door: the problem registry
+  (:mod:`repro.problems` — molecules, Ising chains/lattices, Heisenberg XXZ,
+  MaxCut, plus user-registered workloads) and the declarative
+  :class:`repro.RunSpec` consumed by :func:`repro.run`, which routes every
+  search through the caching/checkpointing orchestrator::
+
+      import repro
+      report = repro.run(repro.RunSpec(problem="ising_chain",
+                                       problem_options={"num_sites": 6},
+                                       max_evaluations=200, num_seeds=4))
+      print(report.energy, report.exact_energy)
+
+``run``, ``RunSpec``, ``RunReport``, and ``problems`` are loaded lazily so
+``import repro`` stays cheap.
 """
 
 __version__ = "1.0.0"
@@ -40,4 +54,28 @@ __all__ = [
     "ConvergenceError",
     "OptimizationError",
     "NoiseModelError",
+    "run",
+    "RunSpec",
+    "RunReport",
+    "problems",
 ]
+
+_LAZY_RUNSPEC_EXPORTS = frozenset({"run", "RunSpec", "RunReport"})
+
+
+def __getattr__(name):
+    # The front door pulls in the full stack (chemistry, scipy); load it on
+    # first use so `import repro` stays a cheap exceptions-only import.
+    if name in _LAZY_RUNSPEC_EXPORTS:
+        from repro import runspec
+
+        return getattr(runspec, name)
+    if name == "problems":
+        import repro.problems as problems
+
+        return problems
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _LAZY_RUNSPEC_EXPORTS | {"problems"})

@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from repro.chemistry.active_space import ActiveSpaceHamiltonian, build_active_space
 from repro.chemistry.exact import MAX_EXACT_QUBITS, exact_ground_state_energy
 from repro.chemistry.fermion import (
@@ -32,6 +30,7 @@ from repro.chemistry.mappings import (
 )
 from repro.chemistry.scf import RestrictedHartreeFock, SCFResult
 from repro.exceptions import ChemistryError
+from repro.operators.fingerprints import determinant_energy, hamiltonian_fingerprint
 from repro.operators.pauli_sum import PauliSum
 
 
@@ -68,6 +67,28 @@ class MolecularProblem:
     @property
     def num_electrons(self) -> int:
         return self.num_alpha + self.num_beta
+
+    # ------------------------------------------------------------------ #
+    # ProblemSpec protocol (see repro.problems.base): the Hartree–Fock
+    # determinant is the molecular problem's classical reference.
+    # ------------------------------------------------------------------ #
+    @property
+    def reference_energy(self) -> float:
+        return self.hf_energy
+
+    @property
+    def reference_bits(self) -> List[int]:
+        return self.hf_bits
+
+    def fingerprint(self) -> str:
+        """Stable digest of the qubit Hamiltonian (cache/checkpoint keying)."""
+        return hamiltonian_fingerprint(self.hamiltonian)
+
+    def default_constraint(self):
+        """Particle-number constraint matching this problem's electron sector."""
+        from repro.core.constraints import ParticleConstraint
+
+        return ParticleConstraint(self.num_alpha, self.num_beta)
 
     @property
     def correlation_energy(self) -> Optional[float]:
@@ -186,21 +207,6 @@ def build_molecular_problem(
     )
 
 
-def _determinant_energy(hamiltonian: PauliSum, bits: Sequence[int]) -> float:
-    """Energy of a computational-basis state under a diagonal-term evaluation.
-
-    Only I/Z terms contribute for a basis state; each Z factor contributes
-    ``(-1)^bit``.
-    """
-    energy = 0.0
-    num_qubits = hamiltonian.num_qubits
-    for term in hamiltonian.terms():
-        label = term.label
-        if not set(label) <= {"I", "Z"}:
-            continue
-        sign = 1.0
-        for qubit in range(num_qubits):
-            if label[num_qubits - 1 - qubit] == "Z" and bits[qubit]:
-                sign = -sign
-        energy += float(np.real(term.coefficient)) * sign
-    return energy
+# Retained name: the shared implementation lives with the operator layer so
+# non-chemistry problems (repro.problems) can use it without importing here.
+_determinant_energy = determinant_energy

@@ -2,6 +2,7 @@
 
 from repro.core.constraints import (
     DEFAULT_PENALTY_WEIGHT,
+    OperatorPenalty,
     ParticleConstraint,
     constrained_hamiltonian,
     quadratic_penalty,
@@ -33,7 +34,12 @@ from repro.core.pipeline import (
     dissociation_curve,
     evaluate_molecule,
 )
-from repro.core.search import CafqaResult, CafqaSearch, run_cafqa
+from repro.core.search import (
+    CafqaResult,
+    CafqaSearch,
+    SearchLoopOptions,
+    run_cafqa,
+)
 from repro.core.tgates import (
     CliffordTObjective,
     CliffordTResult,
@@ -45,9 +51,11 @@ from repro.core.vqe import VQEResult, VQERunner
 
 __all__ = [
     "ParticleConstraint",
+    "OperatorPenalty",
     "constrained_hamiltonian",
     "quadratic_penalty",
     "DEFAULT_PENALTY_WEIGHT",
+    "SearchLoopOptions",
     "CHEMICAL_ACCURACY",
     "AccuracySummary",
     "energy_error",

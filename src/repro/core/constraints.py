@@ -1,19 +1,29 @@
-"""Electron-count and spin constraints for the CAFQA search objective.
+"""Symmetry constraints folded into the CAFQA search objective.
 
 The paper imposes electron and spin preservation "directly to the objective
 function" (Section 3, item 5; Section 7.1.1 for the H2+ cation).  This module
 builds quadratic penalty operators such as ``w * (N_alpha - n_alpha)^2`` as
 Pauli sums, so the constrained objective remains a single Pauli-sum
 expectation that the stabilizer simulator can evaluate exactly.
+
+Constraints are problem-agnostic: any object with a
+``penalty_terms(problem)`` iterator of :class:`~repro.operators.pauli_sum
+.PauliSum` penalties plugs into :func:`constrained_hamiltonian`.
+:class:`ParticleConstraint` is the chemistry implementation (electron counts
+per spin sector); :class:`OperatorPenalty` pins the expectation of an
+arbitrary operator — the hook future Excited-CAFQA-style deflated objectives
+build on.  Problems advertise their natural constraint through an optional
+``default_constraint()`` (molecular problems return their particle sector;
+spin/graph problems return ``None``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
-from repro.chemistry.hamiltonian import MolecularProblem
 from repro.operators.pauli_sum import PauliSum
+from repro.problems.base import default_constraint_of
 
 DEFAULT_PENALTY_WEIGHT = 2.0
 
@@ -32,6 +42,39 @@ class ParticleConstraint:
         if self.weight < 0:
             raise ValueError("penalty weight must be non-negative")
 
+    def penalty_terms(self, problem) -> Iterator[PauliSum]:
+        """Quadratic number-operator penalties for each spin sector."""
+        if self.weight <= 0:
+            return
+        yield quadratic_penalty(
+            problem.number_operator_alpha, self.num_alpha, self.weight
+        )
+        yield quadratic_penalty(problem.number_operator_beta, self.num_beta, self.weight)
+
+
+@dataclass(frozen=True)
+class OperatorPenalty:
+    """Pin ``<operator>`` to ``target``: the generic constraint implementation.
+
+    ``w * (operator - target)^2`` is added to the objective; any Hermitian
+    Pauli sum works, so this expresses magnetization sectors for spin models,
+    cut-size restrictions for graphs, or (with a projector operator) the
+    deflation penalties of Excited-CAFQA.
+    """
+
+    operator: PauliSum
+    target: float
+    weight: float = DEFAULT_PENALTY_WEIGHT
+
+    def __post_init__(self):
+        if self.weight < 0:
+            raise ValueError("penalty weight must be non-negative")
+
+    def penalty_terms(self, problem) -> Iterator[PauliSum]:
+        if self.weight <= 0:
+            return
+        yield quadratic_penalty(self.operator, self.target, self.weight)
+
 
 def quadratic_penalty(operator: PauliSum, target: float, weight: float) -> PauliSum:
     """The operator ``weight * (operator - target)^2`` as a Pauli sum."""
@@ -40,28 +83,28 @@ def quadratic_penalty(operator: PauliSum, target: float, weight: float) -> Pauli
 
 
 def constrained_hamiltonian(
-    problem: MolecularProblem,
-    constraint: Optional[ParticleConstraint] = None,
+    problem,
+    constraint=None,
     spin_z_target: Optional[float] = None,
     spin_weight: float = DEFAULT_PENALTY_WEIGHT,
 ) -> PauliSum:
-    """Hamiltonian plus particle-number (and optional S_z) penalty terms.
+    """Hamiltonian plus the problem's (or an explicit) penalty terms.
 
-    With ``constraint=None`` a constraint matching the problem's particle
-    sector is applied; pass a different :class:`ParticleConstraint` to target
-    cations/anions or other spin sectors, mirroring the paper's constrained
-    VQE treatment of H2+ and the H2O/H6 spin studies.
+    With ``constraint=None`` the problem's ``default_constraint()`` is
+    applied when it has one — molecular problems constrain their particle
+    sector, mirroring the paper's constrained VQE treatment of H2+ and the
+    H2O/H6 spin studies; problems without symmetry sectors contribute no
+    penalty.  ``spin_z_target`` additionally pins the problem's
+    ``spin_z_operator`` (chemistry problems only).
     """
     if constraint is None:
-        constraint = ParticleConstraint(problem.num_alpha, problem.num_beta)
+        constraint = default_constraint_of(problem)
     total = problem.hamiltonian
-    if constraint.weight > 0:
-        total = total + quadratic_penalty(
-            problem.number_operator_alpha, constraint.num_alpha, constraint.weight
-        )
-        total = total + quadratic_penalty(
-            problem.number_operator_beta, constraint.num_beta, constraint.weight
-        )
+    if constraint is not None:
+        for penalty in constraint.penalty_terms(problem):
+            total = total + penalty
     if spin_z_target is not None and spin_weight > 0:
-        total = total + quadratic_penalty(problem.spin_z_operator, spin_z_target, spin_weight)
+        total = total + quadratic_penalty(
+            problem.spin_z_operator, spin_z_target, spin_weight
+        )
     return total.simplify(1e-10)

@@ -18,11 +18,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.chemistry.hamiltonian import MolecularProblem
 from repro.circuits.ansatz import EfficientSU2Ansatz
 from repro.circuits.clifford_points import CliffordGateProgram, validate_clifford_point
 from repro.core.constraints import ParticleConstraint, constrained_hamiltonian
 from repro.operators.pauli_sum import PauliSum
+from repro.problems.base import ProblemSpec
 from repro.stabilizer.expectation import PauliSumEvaluator
 from repro.stabilizer.tableau import BatchedCliffordTableau, CliffordTableau
 
@@ -44,9 +44,9 @@ class CliffordObjective:
 
     def __init__(
         self,
-        problem: MolecularProblem,
+        problem: ProblemSpec,
         ansatz: EfficientSU2Ansatz,
-        constraint: Optional[ParticleConstraint] = None,
+        constraint=None,
         spin_z_target: Optional[float] = None,
         penalty_weight: Optional[float] = None,
         cache: bool = True,
@@ -59,6 +59,12 @@ class CliffordObjective:
         self._problem = problem
         self._ansatz = ansatz
         if constraint is None and penalty_weight is not None:
+            if not hasattr(problem, "num_alpha"):
+                raise ValueError(
+                    "penalty_weight implies a particle-number constraint, which "
+                    f"problem {problem.name!r} does not define; pass an explicit "
+                    "constraint (e.g. OperatorPenalty) instead"
+                )
             constraint = ParticleConstraint(
                 problem.num_alpha, problem.num_beta, weight=penalty_weight
             )
@@ -75,7 +81,7 @@ class CliffordObjective:
 
     # ------------------------------------------------------------------ #
     @property
-    def problem(self) -> MolecularProblem:
+    def problem(self) -> ProblemSpec:
         return self._problem
 
     @property

@@ -32,7 +32,6 @@ from typing import Dict, IO, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.bayesopt.optimizer import BayesianOptimizationResult, Observation
-from repro.chemistry.hamiltonian import MolecularProblem
 from repro.circuits.ansatz import EfficientSU2Ansatz
 from repro.circuits.clifford_points import (
     CliffordGateProgram,
@@ -42,7 +41,8 @@ from repro.circuits.clifford_points import (
 from repro.core.objective import CliffordObjective
 from repro.core.search import CafqaResult, CafqaSearch
 from repro.exceptions import OptimizationError
-from repro.operators.pauli_sum import PauliSum
+from repro.operators.fingerprints import hamiltonian_fingerprint
+from repro.problems.base import ProblemSpec, reference_energy_of
 
 Point = Tuple[int, ...]
 
@@ -52,19 +52,22 @@ CHECKPOINT_FORMAT = 1
 # orchestrator builds the objective itself) vs. the search loop (forwarded).
 _OBJECTIVE_OPTIONS = ("constraint", "spin_z_target", "penalty_weight")
 
-
-# --------------------------------------------------------------------------- #
-# fingerprints
-# --------------------------------------------------------------------------- #
-def hamiltonian_fingerprint(operator: PauliSum) -> str:
-    """Stable hex digest of a Pauli-sum operator (labels + coefficients)."""
-    digest = hashlib.sha256()
-    for term in sorted(operator.terms(), key=lambda t: t.label):
-        coefficient = complex(term.coefficient)
-        digest.update(
-            f"{term.label}:{coefficient.real!r}:{coefficient.imag!r};".encode()
-        )
-    return digest.hexdigest()[:16]
+__all__ = [
+    "SearchOrchestrator",
+    "MultiSeedResult",
+    "SeedTrace",
+    "RestartTask",
+    "EvaluationCache",
+    "CacheShardWriter",
+    "CachedObjective",
+    "hamiltonian_fingerprint",  # re-exported; lives in repro.operators.fingerprints
+    "ansatz_fingerprint",
+    "objective_fingerprint",
+    "energy_fingerprint",
+    "restart_seed",
+    "options_digest",
+    "run_restart",
+]
 
 
 def ansatz_fingerprint(ansatz: EfficientSU2Ansatz) -> str:
@@ -341,7 +344,7 @@ class RestartTask:
     restart_index: int
     seed: Optional[int]
     max_evaluations: int
-    problem: MolecularProblem
+    problem: ProblemSpec
     ansatz: EfficientSU2Ansatz
     objective_options: Dict[str, object]
     search_options: Dict[str, object]
@@ -636,7 +639,7 @@ class SearchOrchestrator:
 
     def __init__(
         self,
-        problem: MolecularProblem,
+        problem: ProblemSpec,
         num_restarts: int = 4,
         max_workers: Optional[int] = None,
         seed: Optional[int] = 0,
@@ -674,7 +677,7 @@ class SearchOrchestrator:
 
     # ------------------------------------------------------------------ #
     @property
-    def problem(self) -> MolecularProblem:
+    def problem(self) -> ProblemSpec:
         return self._problem
 
     @property
@@ -753,7 +756,7 @@ class SearchOrchestrator:
             best_angles=indices_to_angles(best_trace.best_indices),
             energy=best_trace.energy,
             constrained_energy=best_trace.constrained_energy,
-            hf_energy=self._problem.hf_energy,
+            hf_energy=reference_energy_of(self._problem),
             exact_energy=self._problem.exact_energy,
             num_iterations=best_trace.num_iterations,
             converged_iteration=best_trace.converged_iteration,
@@ -762,7 +765,7 @@ class SearchOrchestrator:
         )
         return MultiSeedResult(
             problem_name=self._problem.name,
-            hf_energy=self._problem.hf_energy,
+            hf_energy=reference_energy_of(self._problem),
             exact_energy=self._problem.exact_energy,
             traces=list(traces),
             best=best,

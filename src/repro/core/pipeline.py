@@ -13,10 +13,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.chemistry.hamiltonian import MolecularProblem
-from repro.chemistry.molecules import get_preset, make_problem
+from repro.chemistry.molecules import get_preset
 from repro.core.constraints import ParticleConstraint
 from repro.core.metrics import AccuracySummary
-from repro.core.orchestrator import MultiSeedResult, SearchOrchestrator
+from repro.core.orchestrator import MultiSeedResult
 from repro.core.search import CafqaResult
 from repro.exceptions import ReproError
 
@@ -70,34 +70,40 @@ def evaluate_molecule(
 ) -> MoleculeEvaluation:
     """Run the full HF / CAFQA / exact comparison for one molecule configuration.
 
-    Every evaluation goes through the :class:`SearchOrchestrator`:
-    ``num_seeds`` independent restarts (the default single restart runs
-    inline, bit-identical to a plain ``CafqaSearch``), sharded across
-    ``max_workers`` processes, with optional evaluation caching
-    (``cache_dir``) and checkpoint/resume (``checkpoint_dir``).
+    A thin wrapper over the unified front door: the call is translated into
+    a :class:`repro.RunSpec` and executed by :func:`repro.run`, so every
+    evaluation goes through the :class:`~repro.core.orchestrator
+    .SearchOrchestrator` — ``num_seeds`` independent restarts (the default
+    single restart runs inline, bit-identical to a plain ``CafqaSearch``),
+    sharded across ``max_workers`` processes, with optional evaluation
+    caching (``cache_dir``) and checkpoint/resume (``checkpoint_dir``).
     """
+    from repro.runspec import RunSpec, run
+
     preset = get_preset(molecule)
     length = preset.equilibrium_bond_length if bond_length is None else float(bond_length)
-    if problem is None:
-        problem = make_problem(
-            molecule,
-            bond_length=length,
-            compute_exact=compute_exact,
-            particle_sector=particle_sector,
-        )
-    orchestrator = SearchOrchestrator(
-        problem,
-        num_restarts=num_seeds,
-        max_workers=max_workers,
+    spec = RunSpec(
+        problem=molecule,
+        problem_options={
+            "bond_length": length,
+            "compute_exact": compute_exact,
+            "particle_sector": particle_sector,
+        },
+        max_evaluations=max_evaluations,
+        num_seeds=num_seeds,
         seed=seed,
-        cache_dir=cache_dir,
-        constraint=constraint,
-        spin_z_target=spin_z_target,
-        **search_options,
+        max_workers=max_workers,
+        cache_dir=os.fspath(cache_dir) if cache_dir is not None else None,
+        checkpoint_dir=os.fspath(checkpoint_dir) if checkpoint_dir is not None else None,
+        search_options={
+            "constraint": constraint,
+            "spin_z_target": spin_z_target,
+            **search_options,
+        },
     )
-    multi = orchestrator.run(
-        max_evaluations=max_evaluations, checkpoint_dir=checkpoint_dir
-    )
+    report = run(spec, problem=problem)
+    problem = report.problem
+    multi = report.result
     cafqa = multi.best
     summary = AccuracySummary(
         molecule=molecule,

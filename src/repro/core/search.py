@@ -10,6 +10,7 @@ search result is never worse than the Hartree–Fock baseline.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
@@ -18,7 +19,6 @@ import numpy as np
 from repro.bayesopt.acquisition import AcquisitionFunction
 from repro.bayesopt.optimizer import BayesianOptimizationResult, BayesianOptimizer, Observation
 from repro.bayesopt.space import DiscreteSpace
-from repro.chemistry.hamiltonian import MolecularProblem
 from repro.circuits.ansatz import EfficientSU2Ansatz
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.clifford_points import (
@@ -26,14 +26,20 @@ from repro.circuits.clifford_points import (
     hartree_fock_clifford_point,
     indices_to_angles,
 )
-from repro.core.constraints import ParticleConstraint
 from repro.core.objective import CliffordObjective
 from repro.exceptions import OptimizationError
+from repro.problems.base import ProblemSpec, reference_bits_of, reference_energy_of
 
 
 @dataclass
 class CafqaResult:
-    """Outcome of a CAFQA search for one molecular problem."""
+    """Outcome of a CAFQA search for one problem.
+
+    ``hf_energy`` holds the problem's classical *reference* energy — the
+    Hartree–Fock determinant for molecular problems (hence the historical
+    field name), the reference product state for spin/graph workloads; the
+    ``reference_energy`` property is the problem-agnostic spelling.
+    """
 
     problem_name: str
     best_indices: List[int]
@@ -53,8 +59,13 @@ class CafqaResult:
         return bind_clifford_point(self.ansatz, self.best_indices)
 
     @property
+    def reference_energy(self) -> float:
+        """The problem's classical reference energy (alias of ``hf_energy``)."""
+        return self.hf_energy
+
+    @property
     def improvement_over_hf(self) -> float:
-        """Energy lowering relative to the Hartree–Fock baseline (non-negative)."""
+        """Energy lowering relative to the classical reference (non-negative)."""
         return self.hf_energy - self.energy
 
     @property
@@ -70,8 +81,58 @@ class CafqaResult:
         )
 
 
+@dataclass
+class SearchLoopOptions:
+    """The Bayesian-optimization loop knobs shared by every discrete search.
+
+    Both :class:`CafqaSearch` (pi/2 Clifford space) and
+    :class:`~repro.core.tgates.CliffordTSearch` (pi/4 Clifford+T space) run
+    the same warm-up / surrogate / greedy-acquisition loop; this dataclass is
+    the single place their kwarg names and defaults are defined, so the two
+    searches cannot drift apart again.
+    """
+
+    warmup_fraction: float = 0.5
+    candidate_pool_size: int = 200
+    surrogate_factory: Optional[Callable] = None
+    acquisition: Optional[AcquisitionFunction] = None
+    convergence_patience: Optional[int] = None
+    refit_interval: int = 5
+    proposal_batch: int = 1
+
+    def __post_init__(self):
+        if not 0.0 < self.warmup_fraction < 1.0:
+            raise OptimizationError(
+                "warmup_fraction must be strictly between 0 and 1"
+            )
+
+    def build_optimizer(
+        self,
+        space: DiscreteSpace,
+        max_evaluations: int,
+        seed_points: Sequence[Sequence[int]],
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> BayesianOptimizer:
+        """The configured optimizer for one search run (shared scaffolding)."""
+        warmup = max(1, int(round(self.warmup_fraction * max_evaluations)))
+        return BayesianOptimizer(
+            space,
+            warmup_evaluations=warmup,
+            candidate_pool_size=int(self.candidate_pool_size),
+            surrogate_factory=self.surrogate_factory,
+            acquisition=self.acquisition,
+            seed_points=list(seed_points),
+            convergence_patience=self.convergence_patience,
+            refit_interval=int(self.refit_interval),
+            proposal_batch=int(self.proposal_batch),
+            seed=seed,
+            rng=rng,
+        )
+
+
 class CafqaSearch:
-    """Runs the discrete Clifford-space search for a molecular problem.
+    """Runs the discrete Clifford-space search for a :class:`ProblemSpec`.
 
     The search follows the paper's recipe — random warm-up, random-forest
     surrogate, greedy acquisition — and adds an optional greedy coordinate-
@@ -80,14 +141,21 @@ class CafqaSearch:
     thousands of evaluations (Fig. 15); the refinement stage reaches
     comparable Clifford points with laptop-scale budgets and is counted in
     the reported iteration totals.
+
+    Any problem satisfying :class:`~repro.problems.base.ProblemSpec` works —
+    molecular problems, the registry's spin/graph workloads, or custom ones.
+    The search is seeded with the problem's classical reference state
+    (Hartree–Fock for molecules) so the result is never worse than the
+    classical baseline; ``seed_point`` adds one more caller-chosen start.
     """
 
     def __init__(
         self,
-        problem: MolecularProblem,
+        problem: ProblemSpec,
         ansatz: Optional[EfficientSU2Ansatz] = None,
         ansatz_reps: int = 1,
-        constraint: Optional[ParticleConstraint] = None,
+        *,
+        constraint=None,
         spin_z_target: Optional[float] = None,
         penalty_weight: Optional[float] = None,
         warmup_fraction: float = 0.5,
@@ -96,6 +164,7 @@ class CafqaSearch:
         acquisition: Optional[AcquisitionFunction] = None,
         convergence_patience: Optional[int] = None,
         seed_hartree_fock: bool = True,
+        seed_point: Optional[Sequence[int]] = None,
         local_refinement: bool = True,
         refinement_sweeps: int = 4,
         refit_interval: int = 5,
@@ -104,8 +173,6 @@ class CafqaSearch:
         rng: Optional[np.random.Generator] = None,
         objective: Optional[CliffordObjective] = None,
     ):
-        if not 0.0 < warmup_fraction < 1.0:
-            raise OptimizationError("warmup_fraction must be strictly between 0 and 1")
         self._problem = problem
         self._ansatz = ansatz if ansatz is not None else EfficientSU2Ansatz(
             problem.num_qubits, reps=ansatz_reps
@@ -127,18 +194,24 @@ class CafqaSearch:
                 spin_z_target=spin_z_target,
                 penalty_weight=penalty_weight,
             )
-        self._warmup_fraction = float(warmup_fraction)
-        self._pool_size = int(candidate_pool_size)
-        # Overridable surrogate constructor (ablations / before-after perf
-        # benchmarks); None selects the optimizer's default forest.
-        self._surrogate_factory = surrogate_factory
-        self._acquisition = acquisition
-        self._patience = convergence_patience
+        # The loop knobs live in the shared options object (same defaults as
+        # CliffordTSearch); surrogate_factory=None selects the optimizer's
+        # default forest.
+        self._options = SearchLoopOptions(
+            warmup_fraction=float(warmup_fraction),
+            candidate_pool_size=int(candidate_pool_size),
+            surrogate_factory=surrogate_factory,
+            acquisition=acquisition,
+            convergence_patience=convergence_patience,
+            refit_interval=int(refit_interval),
+            proposal_batch=int(proposal_batch),
+        )
         self._seed_hf = bool(seed_hartree_fock)
+        self._seed_point = (
+            [int(v) for v in seed_point] if seed_point is not None else None
+        )
         self._local_refinement = bool(local_refinement)
         self._refinement_sweeps = int(refinement_sweeps)
-        self._refit_interval = int(refit_interval)
-        self._proposal_batch = int(proposal_batch)
         self._seed = seed
         self._rng = rng
 
@@ -151,9 +224,15 @@ class CafqaSearch:
     def ansatz(self) -> EfficientSU2Ansatz:
         return self._ansatz
 
+    def reference_indices(self) -> List[int]:
+        """Clifford index vector preparing the problem's reference bitstring."""
+        return hartree_fock_clifford_point(
+            self._ansatz, reference_bits_of(self._problem)
+        )
+
     def hartree_fock_indices(self) -> List[int]:
-        """Clifford index vector that prepares the Hartree–Fock bitstring."""
-        return hartree_fock_clifford_point(self._ansatz, self._problem.hf_bits)
+        """Deprecated alias for :meth:`reference_indices`."""
+        return self.reference_indices()
 
     # ------------------------------------------------------------------ #
     def run(
@@ -172,18 +251,13 @@ class CafqaSearch:
         space = DiscreteSpace.clifford(self._ansatz.num_parameters)
         seeds: List[Sequence[int]] = []
         if self._seed_hf:
-            seeds.append(self.hartree_fock_indices())
-        warmup = max(1, int(round(self._warmup_fraction * max_evaluations)))
-        optimizer = BayesianOptimizer(
+            seeds.append(self.reference_indices())
+        if self._seed_point is not None:
+            seeds.append(self._seed_point)
+        optimizer = self._options.build_optimizer(
             space,
-            warmup_evaluations=warmup,
-            candidate_pool_size=self._pool_size,
-            surrogate_factory=self._surrogate_factory,
-            acquisition=self._acquisition,
+            max_evaluations=max_evaluations,
             seed_points=seeds,
-            convergence_patience=self._patience,
-            refit_interval=self._refit_interval,
-            proposal_batch=self._proposal_batch,
             seed=self._seed,
             rng=self._rng,
         )
@@ -202,7 +276,7 @@ class CafqaSearch:
             best_angles=indices_to_angles(best_indices),
             energy=float(plain_energy),
             constrained_energy=float(search_result.best_value),
-            hf_energy=self._problem.hf_energy,
+            hf_energy=reference_energy_of(self._problem),
             exact_energy=self._problem.exact_energy,
             num_iterations=search_result.num_iterations,
             converged_iteration=search_result.converged_iteration,
@@ -337,11 +411,35 @@ def coordinate_descent(
 
 
 def run_cafqa(
-    problem: MolecularProblem,
+    problem: ProblemSpec,
     max_evaluations: int = 500,
     seed: Optional[int] = None,
     **search_options,
 ) -> CafqaResult:
-    """Convenience wrapper: build a :class:`CafqaSearch` with defaults and run it."""
-    search = CafqaSearch(problem, seed=seed, **search_options)
-    return search.run(max_evaluations=max_evaluations)
+    """Deprecated: use :func:`repro.run` with a :class:`repro.RunSpec`.
+
+    Forwards to the unified front door (a single-restart orchestrated run is
+    bit-identical to the direct ``CafqaSearch`` this wrapper used to build,
+    and additionally benefits from caching/checkpointing when configured).
+    """
+    warnings.warn(
+        "run_cafqa is deprecated; use repro.run(repro.RunSpec(problem=..., "
+        "max_evaluations=..., seed=...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if "objective" in search_options:
+        # An injected objective cannot ride through the orchestrator (which
+        # builds and cache-wraps its own); keep the legacy direct path.
+        search = CafqaSearch(problem, seed=seed, **search_options)
+        return search.run(max_evaluations=max_evaluations)
+    from repro.runspec import RunSpec, run
+
+    spec = RunSpec(
+        problem=problem,
+        max_evaluations=int(max_evaluations),
+        num_seeds=1,
+        seed=seed,
+        search_options=dict(search_options),
+    )
+    return run(spec).best

@@ -17,14 +17,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.bayesopt.optimizer import BayesianOptimizationResult, BayesianOptimizer
+from repro.bayesopt.acquisition import AcquisitionFunction
+from repro.bayesopt.optimizer import BayesianOptimizationResult
 from repro.bayesopt.space import DiscreteSpace
-from repro.chemistry.hamiltonian import MolecularProblem
 from repro.circuits.ansatz import EfficientSU2Ansatz
 from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.clifford_points import hartree_fock_clifford_point
 from repro.cliffordt.simulator import CliffordTSimulator
-from repro.core.constraints import ParticleConstraint, constrained_hamiltonian
+from repro.core.constraints import constrained_hamiltonian
+from repro.core.search import SearchLoopOptions
 from repro.exceptions import OptimizationError
+from repro.problems.base import ProblemSpec, reference_bits_of, reference_energy_of
 
 NUM_ANGLES = 8  # multiples of pi/4
 
@@ -72,10 +75,10 @@ class CliffordTObjective:
 
     def __init__(
         self,
-        problem: MolecularProblem,
+        problem: ProblemSpec,
         ansatz: EfficientSU2Ansatz,
         max_t_gates: int,
-        constraint: Optional[ParticleConstraint] = None,
+        constraint=None,
         infeasible_penalty: float = 1.0e3,
     ):
         if max_t_gates < 0:
@@ -116,18 +119,38 @@ class CliffordTObjective:
 
 
 class CliffordTSearch:
-    """Bayesian search over the Clifford + <=k T-gate space."""
+    """Bayesian search over the Clifford + <=k T-gate space.
+
+    The loop kwargs (``warmup_fraction``, ``candidate_pool_size``,
+    ``convergence_patience``, ``refit_interval``, ``proposal_batch``,
+    ``seed``/``rng``) are the same names and defaults as
+    :class:`~repro.core.search.CafqaSearch` — both searches share
+    :class:`~repro.core.search.SearchLoopOptions`.  Like the Clifford
+    search, the problem's classical reference state is seeded by default
+    (``seed_reference``; even pi/4 indices, i.e. zero T gates), and
+    ``seed_point`` adds one more start — e.g. the doubled indices of a
+    finished Clifford search, the paper's Section 8 recipe.
+    """
 
     def __init__(
         self,
-        problem: MolecularProblem,
+        problem: ProblemSpec,
         max_t_gates: int,
         ansatz: Optional[EfficientSU2Ansatz] = None,
         ansatz_reps: int = 1,
-        constraint: Optional[ParticleConstraint] = None,
+        *,
+        constraint=None,
         warmup_fraction: float = 0.5,
-        seed: Optional[int] = None,
+        candidate_pool_size: int = 200,
+        surrogate_factory=None,
+        acquisition: Optional[AcquisitionFunction] = None,
+        convergence_patience: Optional[int] = None,
+        seed_reference: bool = True,
         seed_point: Optional[Sequence[int]] = None,
+        refit_interval: int = 5,
+        proposal_batch: int = 1,
+        seed: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
     ):
         self._problem = problem
         self._ansatz = ansatz if ansatz is not None else EfficientSU2Ansatz(
@@ -137,24 +160,44 @@ class CliffordTSearch:
             problem, self._ansatz, max_t_gates, constraint=constraint
         )
         self._max_t = int(max_t_gates)
-        self._warmup_fraction = float(warmup_fraction)
-        self._seed = seed
+        self._options = SearchLoopOptions(
+            warmup_fraction=float(warmup_fraction),
+            candidate_pool_size=int(candidate_pool_size),
+            surrogate_factory=surrogate_factory,
+            acquisition=acquisition,
+            convergence_patience=convergence_patience,
+            refit_interval=int(refit_interval),
+            proposal_batch=int(proposal_batch),
+        )
+        self._seed_reference = bool(seed_reference)
         self._seed_point = list(seed_point) if seed_point is not None else None
+        self._seed = seed
+        self._rng = rng
 
     @property
     def objective(self) -> CliffordTObjective:
         return self._objective
 
+    def reference_indices(self) -> List[int]:
+        """pi/4 index vector preparing the reference bitstring (zero T gates)."""
+        clifford = hartree_fock_clifford_point(
+            self._ansatz, reference_bits_of(self._problem)
+        )
+        return [2 * index for index in clifford]
+
     def run(self, max_evaluations: int = 500) -> CliffordTResult:
         space = DiscreteSpace([NUM_ANGLES] * self._ansatz.num_parameters)
         seeds = []
+        if self._seed_reference:
+            seeds.append(self.reference_indices())
         if self._seed_point is not None:
             seeds.append(self._seed_point)
-        optimizer = BayesianOptimizer(
+        optimizer = self._options.build_optimizer(
             space,
-            warmup_evaluations=max(1, int(self._warmup_fraction * max_evaluations)),
+            max_evaluations=max_evaluations,
             seed_points=seeds,
             seed=self._seed,
+            rng=self._rng,
         )
         result = optimizer.minimize(self._objective, max_evaluations=max_evaluations)
         best = list(result.best_point)
@@ -167,7 +210,7 @@ class CliffordTSearch:
             energy=float(plain_energy),
             constrained_energy=float(result.best_value),
             num_t_gates=count_t_gates(best),
-            hf_energy=self._problem.hf_energy,
+            hf_energy=reference_energy_of(self._problem),
             exact_energy=self._problem.exact_energy,
             num_iterations=result.num_iterations,
             search_result=result,

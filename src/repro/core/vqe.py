@@ -14,7 +14,6 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.chemistry.hamiltonian import MolecularProblem
 from repro.circuits.ansatz import EfficientSU2Ansatz
 from repro.circuits.clifford_points import hartree_fock_clifford_point, indices_to_angles
 from repro.exceptions import OptimizationError
@@ -22,6 +21,7 @@ from repro.noise.models import NoiseModel
 from repro.operators.pauli_sum import PauliSum
 from repro.optim.base import ContinuousOptimizer, OptimizationTrace
 from repro.optim.spsa import SPSA
+from repro.problems.base import ProblemSpec, reference_bits_of
 from repro.statevector.density_matrix import DensityMatrixSimulator
 from repro.statevector.simulator import StatevectorSimulator
 
@@ -57,7 +57,7 @@ class VQERunner:
 
     def __init__(
         self,
-        problem: MolecularProblem,
+        problem: ProblemSpec,
         ansatz: Optional[EfficientSU2Ansatz] = None,
         ansatz_reps: int = 1,
         noise_model: Optional[NoiseModel] = None,
@@ -88,10 +88,16 @@ class VQERunner:
         circuit = self._ansatz.bind(list(parameters))
         return float(self._backend.expectation(circuit, self._hamiltonian))
 
-    def hartree_fock_parameters(self) -> List[float]:
-        """Continuous angles reproducing the Hartree–Fock initialization."""
-        indices = hartree_fock_clifford_point(self._ansatz, self._problem.hf_bits)
+    def reference_parameters(self) -> List[float]:
+        """Continuous angles reproducing the problem's reference bitstring."""
+        indices = hartree_fock_clifford_point(
+            self._ansatz, reference_bits_of(self._problem)
+        )
         return indices_to_angles(indices)
+
+    def hartree_fock_parameters(self) -> List[float]:
+        """Alias of :meth:`reference_parameters` (Hartree–Fock for molecules)."""
+        return self.reference_parameters()
 
     # ------------------------------------------------------------------ #
     def run(
@@ -123,10 +129,18 @@ class VQERunner:
             noisy=self._noise_model is not None,
         )
 
+    def run_from_reference(self, max_iterations: int = 200) -> VQEResult:
+        """Tune starting from the classical reference initialization."""
+        return self.run(
+            self.reference_parameters(),
+            max_iterations=max_iterations,
+            initial_label="reference",
+        )
+
     def run_from_hartree_fock(self, max_iterations: int = 200) -> VQEResult:
         """Tune starting from the Hartree–Fock initialization (the paper's baseline)."""
         return self.run(
-            self.hartree_fock_parameters(),
+            self.reference_parameters(),
             max_iterations=max_iterations,
             initial_label="hartree_fock",
         )

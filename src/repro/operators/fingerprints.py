@@ -1,0 +1,51 @@
+"""Stable fingerprints and basis-state evaluations of Pauli-sum operators.
+
+These helpers are shared by layers that must agree on operator identity
+without importing each other: the problem registry (:mod:`repro.problems`)
+fingerprints Hamiltonians so evaluation caches can be keyed on *what was
+simulated*, the chemistry substrate computes reference-determinant energies,
+and the orchestrator's checkpoint layer namespaces its files by the same
+digests.  Keeping them next to :class:`~repro.operators.pauli_sum.PauliSum`
+(a leaf module) avoids import cycles between those layers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+import numpy as np
+
+from repro.operators.pauli_sum import PauliSum
+
+
+def hamiltonian_fingerprint(operator: PauliSum) -> str:
+    """Stable hex digest of a Pauli-sum operator (labels + coefficients)."""
+    digest = hashlib.sha256()
+    for term in sorted(operator.terms(), key=lambda t: t.label):
+        coefficient = complex(term.coefficient)
+        digest.update(
+            f"{term.label}:{coefficient.real!r}:{coefficient.imag!r};".encode()
+        )
+    return digest.hexdigest()[:16]
+
+
+def determinant_energy(hamiltonian: PauliSum, bits: Sequence[int]) -> float:
+    """Energy of a computational-basis state under a diagonal-term evaluation.
+
+    Only I/Z terms contribute for a basis state; each Z factor contributes
+    ``(-1)^bit``.  ``bits[q]`` is the occupation of qubit ``q`` (qubit 0 is
+    the rightmost character of a Pauli label).
+    """
+    energy = 0.0
+    num_qubits = hamiltonian.num_qubits
+    for term in hamiltonian.terms():
+        label = term.label
+        if not set(label) <= {"I", "Z"}:
+            continue
+        sign = 1.0
+        for qubit in range(num_qubits):
+            if label[num_qubits - 1 - qubit] == "Z" and bits[qubit]:
+                sign = -sign
+        energy += float(np.real(term.coefficient)) * sign
+    return energy

@@ -1,0 +1,62 @@
+"""Problem registry and built-in workloads for the CAFQA search stack.
+
+The search engines consume any :class:`~repro.problems.base.ProblemSpec`;
+this package ships the built-in implementations and a string-keyed registry
+so workloads can be named in a :class:`~repro.runspec.RunSpec`:
+
+* molecule presets (``"H2"``, ``"LiH"``, ... — the paper's suite), built by
+  the chemistry substrate on demand;
+* transverse-field Ising chains and lattices (``"ising_chain"``,
+  ``"ising_lattice"``) and Heisenberg XXZ chains (``"xxz_chain"``);
+* MaxCut from an edge list (``"maxcut"``) or a ring (``"maxcut_ring"``).
+
+Register your own with :func:`repro.problems.register`; anything returning a
+``ProblemSpec`` plugs into ``repro.run``, the orchestrator, and the caching /
+checkpoint layers unchanged.
+"""
+
+from repro.problems.base import (
+    HamiltonianProblem,
+    ProblemSpec,
+    default_constraint_of,
+    reference_bits_of,
+    reference_energy_of,
+)
+from repro.problems.graphs import best_cut_brute_force, maxcut_problem, maxcut_ring
+from repro.problems.molecular import molecular_problem, register_molecule_presets
+from repro.problems.registry import (
+    get,
+    is_registered,
+    list_problems,
+    register,
+    unregister,
+)
+from repro.problems.spins import ising_chain, ising_lattice, xxz_chain
+
+register("ising_chain", ising_chain)
+register("ising_lattice", ising_lattice)
+register("xxz_chain", xxz_chain)
+register("maxcut", maxcut_problem)
+register("maxcut_ring", maxcut_ring)
+register_molecule_presets()
+
+__all__ = [
+    "ProblemSpec",
+    "HamiltonianProblem",
+    "reference_bits_of",
+    "reference_energy_of",
+    "default_constraint_of",
+    "register",
+    "unregister",
+    "is_registered",
+    "get",
+    "list_problems",
+    "ising_chain",
+    "ising_lattice",
+    "xxz_chain",
+    "maxcut_problem",
+    "maxcut_ring",
+    "best_cut_brute_force",
+    "molecular_problem",
+    "register_molecule_presets",
+]

@@ -1,0 +1,130 @@
+"""Graph workloads: MaxCut as a diagonal qubit Hamiltonian.
+
+MaxCut on a weighted graph maps to ``H = sum_(i,j) w_ij/2 (Z_i Z_j - 1)``:
+a basis state encodes a vertex bipartition and its energy is minus the cut
+weight, so the ground state is the maximum cut.  The Hamiltonian is
+diagonal, which makes MaxCut a useful contract-test workload — the exact
+optimum is brute-forceable and the CAFQA search should recover it exactly
+on small graphs.
+
+The reference state is the empty cut (all vertices on one side, energy 0),
+the weakest classical baseline, so ``reference_energy - energy`` reports the
+full cut weight the search found.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.operators.pauli_sum import PauliSum
+from repro.problems.base import HamiltonianProblem
+
+__all__ = ["maxcut_problem", "maxcut_ring", "best_cut_brute_force"]
+
+Edge = Union[Tuple[int, int], Tuple[int, int, float], Sequence]
+
+# Brute force enumerates 2^n bipartitions; beyond this the exact reference is
+# simply omitted (the problem itself has no size limit).
+MAX_BRUTE_FORCE_QUBITS = 20
+
+
+def _normalize_edges(edges: Sequence[Edge]) -> List[Tuple[int, int, float]]:
+    normalized = []
+    for edge in edges:
+        if len(edge) == 2:
+            left, right = edge
+            weight = 1.0
+        elif len(edge) == 3:
+            left, right, weight = edge
+        else:
+            raise ReproError(f"edge {edge!r} must be (i, j) or (i, j, weight)")
+        left, right = int(left), int(right)
+        if left == right:
+            raise ReproError(f"self-loop ({left}, {right}) is not a cut edge")
+        normalized.append((left, right, float(weight)))
+    if not normalized:
+        raise ReproError("MaxCut needs at least one edge")
+    return normalized
+
+
+def best_cut_brute_force(
+    num_vertices: int, edges: Sequence[Edge]
+) -> Tuple[float, List[int]]:
+    """Maximum cut weight and one maximizing bipartition, by enumeration."""
+    if num_vertices > MAX_BRUTE_FORCE_QUBITS:
+        raise ReproError(
+            f"{num_vertices} vertices exceeds the brute-force limit "
+            f"({MAX_BRUTE_FORCE_QUBITS})"
+        )
+    normalized = _normalize_edges(edges)
+    # One uint8 column per vertex (2^20 x 20 stays ~20 MB; an int64 matrix
+    # at the limit would be ~170 MB).
+    states = np.arange(2**num_vertices, dtype=np.int64)
+    assignments = np.empty((len(states), num_vertices), dtype=np.uint8)
+    for vertex in range(num_vertices):
+        assignments[:, vertex] = (states >> vertex) & 1
+    cut = np.zeros(len(states), dtype=float)
+    for left, right, weight in normalized:
+        cut += weight * (assignments[:, left] != assignments[:, right])
+    best = int(np.argmax(cut))
+    return float(cut[best]), [int(bit) for bit in assignments[best]]
+
+
+def maxcut_problem(
+    edges: Sequence[Edge],
+    num_vertices: Optional[int] = None,
+    name: Optional[str] = None,
+) -> HamiltonianProblem:
+    """MaxCut on a weighted graph given as ``(i, j)`` or ``(i, j, weight)`` edges."""
+    normalized = _normalize_edges(edges)
+    inferred = 1 + max(max(left, right) for left, right, _ in normalized)
+    if num_vertices is None:
+        num_vertices = inferred
+    elif num_vertices < inferred:
+        raise ReproError(
+            f"edges reference vertex {inferred - 1} but num_vertices={num_vertices}"
+        )
+    terms: List[Tuple[str, complex]] = []
+    for left, right, weight in normalized:
+        characters = ["I"] * num_vertices
+        characters[num_vertices - 1 - left] = "Z"
+        characters[num_vertices - 1 - right] = "Z"
+        terms.append(("".join(characters), weight / 2.0))
+        terms.append(("I" * num_vertices, -weight / 2.0))
+    hamiltonian = PauliSum(terms, num_qubits=num_vertices)
+
+    exact_energy = None
+    metadata = {
+        "family": "maxcut",
+        "num_vertices": int(num_vertices),
+        "edges": [[left, right, weight] for left, right, weight in normalized],
+    }
+    if num_vertices <= MAX_BRUTE_FORCE_QUBITS:
+        best_weight, best_bits = best_cut_brute_force(num_vertices, normalized)
+        exact_energy = -best_weight
+        metadata["max_cut_weight"] = best_weight
+        metadata["max_cut_bits"] = best_bits
+
+    return HamiltonianProblem(
+        name=name or f"maxcut(v={num_vertices},e={len(normalized)})",
+        hamiltonian=hamiltonian,
+        reference_bits=[0] * num_vertices,  # the empty cut, energy 0
+        exact_energy=exact_energy,
+        metadata=metadata,
+    )
+
+
+def maxcut_ring(
+    num_vertices: int = 5, weight: float = 1.0
+) -> HamiltonianProblem:
+    """MaxCut on a cycle graph (odd rings are the classic frustrated case)."""
+    if num_vertices < 3:
+        raise ReproError("a ring needs at least three vertices")
+    edges = [
+        (vertex, (vertex + 1) % num_vertices, float(weight))
+        for vertex in range(num_vertices)
+    ]
+    return maxcut_problem(edges, num_vertices=num_vertices, name=f"maxcut_ring(v={num_vertices})")

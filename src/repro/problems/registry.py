@@ -1,0 +1,81 @@
+"""The problem registry: named, parameterized workload factories.
+
+``repro.problems.register`` maps a name to a factory returning a
+:class:`~repro.problems.base.ProblemSpec`; ``repro.problems.get`` builds a
+problem from a name plus keyword options.  This is what makes
+``repro.run(RunSpec(problem="ising_chain", problem_options={...}))`` work for
+any workload — chemistry presets, spin models, graph problems, and whatever
+users register on top — without the search stack knowing the domain.
+
+Factories are registered lazily (the callable may import heavyweight
+substrates like the chemistry stack on first use), so ``import
+repro.problems`` stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import ReproError
+from repro.problems.base import ProblemSpec
+
+ProblemFactory = Callable[..., ProblemSpec]
+
+_REGISTRY: Dict[str, ProblemFactory] = {}
+
+
+def register(
+    name: str, factory: Optional[ProblemFactory] = None, *, overwrite: bool = False
+):
+    """Register ``factory`` under ``name`` (usable as a decorator).
+
+    ``register("tfim", build_tfim)`` or::
+
+        @register("tfim")
+        def build_tfim(num_sites=4, **options): ...
+    """
+
+    def decorator(function: ProblemFactory) -> ProblemFactory:
+        key = str(name)
+        if not overwrite and key in _REGISTRY:
+            raise ReproError(
+                f"problem {key!r} is already registered; pass overwrite=True to replace it"
+            )
+        _REGISTRY[key] = function
+        return function
+
+    if factory is not None:
+        return decorator(factory)
+    return decorator
+
+
+def unregister(name: str) -> None:
+    """Remove a registered problem (mainly for tests)."""
+    _REGISTRY.pop(str(name), None)
+
+
+def is_registered(name: str) -> bool:
+    return str(name) in _REGISTRY
+
+
+def list_problems() -> List[str]:
+    """Sorted names of every registered problem."""
+    return sorted(_REGISTRY)
+
+
+def get(name: str, **options) -> ProblemSpec:
+    """Build the problem registered under ``name`` with keyword ``options``."""
+    try:
+        factory = _REGISTRY[str(name)]
+    except KeyError:
+        known = ", ".join(list_problems()) or "<none>"
+        raise ReproError(
+            f"unknown problem {name!r}; registered problems: {known}"
+        ) from None
+    problem = factory(**options)
+    if not isinstance(problem, ProblemSpec):
+        raise ReproError(
+            f"factory for {name!r} returned {type(problem).__name__}, which does "
+            "not satisfy the ProblemSpec protocol"
+        )
+    return problem

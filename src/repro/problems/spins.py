@@ -1,0 +1,247 @@
+"""Spin-model workloads: transverse-field Ising and Heisenberg XXZ.
+
+These are the first non-chemistry problems the CAFQA bootstrap applies to —
+the follow-up paper "Optimal Clifford Initial States for Ising Hamiltonians"
+(Bhattacharyya & Ravi) runs the identical search over transverse-field Ising
+models.  The builders return :class:`~repro.problems.base
+.HamiltonianProblem` instances with
+
+* the qubit Hamiltonian as a :class:`~repro.operators.pauli_sum.PauliSum`
+  (qubit ``q`` is the *rightmost-minus-q* character of a label, matching the
+  rest of the repo),
+* a classical product-state reference (the best of the uniform and Néel
+  basis states under the diagonal terms — the spin-model analogue of the
+  Hartree–Fock warm start), and
+* the exact ground-state energy by sparse diagonalization when the system is
+  small enough.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+from repro.operators.fingerprints import determinant_energy
+from repro.operators.pauli_sum import PauliSum
+from repro.problems.base import HamiltonianProblem
+
+__all__ = ["ising_chain", "ising_lattice", "xxz_chain", "chain_bonds", "grid_bonds"]
+
+
+def _label(num_qubits: int, paulis: Iterable[Tuple[int, str]]) -> str:
+    """A Pauli label with the given single-qubit operators, identity elsewhere."""
+    characters = ["I"] * num_qubits
+    for qubit, pauli in paulis:
+        if not 0 <= qubit < num_qubits:
+            raise ReproError(f"qubit {qubit} out of range for {num_qubits} qubits")
+        characters[num_qubits - 1 - qubit] = pauli
+    return "".join(characters)
+
+
+def chain_bonds(num_sites: int, periodic: bool = False) -> List[Tuple[int, int]]:
+    """Nearest-neighbour bonds of a 1D chain (optionally a ring)."""
+    bonds = [(site, site + 1) for site in range(num_sites - 1)]
+    if periodic and num_sites > 2:
+        bonds.append((num_sites - 1, 0))
+    return bonds
+
+
+def grid_bonds(rows: int, cols: int) -> List[Tuple[int, int]]:
+    """Nearest-neighbour bonds of an open ``rows x cols`` grid (row-major sites)."""
+    bonds = []
+    for row in range(rows):
+        for col in range(cols):
+            site = row * cols + col
+            if col + 1 < cols:
+                bonds.append((site, site + 1))
+            if row + 1 < rows:
+                bonds.append((site, site + cols))
+    return bonds
+
+
+def _exact_energy(hamiltonian: PauliSum, max_exact_qubits: int) -> Optional[float]:
+    if hamiltonian.num_qubits > max_exact_qubits:
+        return None
+    # Local import: the diagonalizer lives in the chemistry substrate and
+    # pulls scipy; the registry should stay importable without it.
+    from repro.chemistry.exact import exact_ground_state_energy
+
+    return exact_ground_state_energy(hamiltonian)
+
+
+def _best_product_reference(
+    hamiltonian: PauliSum, candidates: Sequence[Sequence[int]]
+) -> Tuple[List[int], float]:
+    """The lowest-diagonal-energy basis state among a few natural patterns."""
+    best_bits, best_energy = None, None
+    for bits in candidates:
+        energy = determinant_energy(hamiltonian, bits)
+        if best_energy is None or energy < best_energy:
+            best_bits, best_energy = [int(b) for b in bits], energy
+    return best_bits, best_energy
+
+
+def _reference_candidates(num_qubits: int) -> List[List[int]]:
+    uniform = [0] * num_qubits
+    neel = [site % 2 for site in range(num_qubits)]
+    return [uniform, [1 - b for b in uniform], neel, [1 - b for b in neel]]
+
+
+def _spin_problem(
+    name: str,
+    hamiltonian: PauliSum,
+    max_exact_qubits: int,
+    metadata: dict,
+) -> HamiltonianProblem:
+    bits, energy = _best_product_reference(
+        hamiltonian, _reference_candidates(hamiltonian.num_qubits)
+    )
+    return HamiltonianProblem(
+        name=name,
+        hamiltonian=hamiltonian,
+        reference_bits=bits,
+        reference_energy=energy,
+        exact_energy=_exact_energy(hamiltonian, max_exact_qubits),
+        metadata=metadata,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# transverse-field Ising
+# --------------------------------------------------------------------------- #
+def _ising_from_bonds(
+    name: str,
+    num_sites: int,
+    bonds: Sequence[Tuple[int, int]],
+    transverse_field: float,
+    coupling: float,
+    longitudinal_field: float,
+    max_exact_qubits: int,
+    metadata: dict,
+) -> HamiltonianProblem:
+    terms: List[Tuple[str, complex]] = []
+    for left, right in bonds:
+        terms.append((_label(num_sites, [(left, "Z"), (right, "Z")]), -coupling))
+    for site in range(num_sites):
+        if transverse_field:
+            terms.append((_label(num_sites, [(site, "X")]), -transverse_field))
+        if longitudinal_field:
+            terms.append((_label(num_sites, [(site, "Z")]), -longitudinal_field))
+    hamiltonian = PauliSum(terms, num_qubits=num_sites)
+    return _spin_problem(name, hamiltonian, max_exact_qubits, metadata)
+
+
+def ising_chain(
+    num_sites: int = 6,
+    transverse_field: float = 1.0,
+    coupling: float = 1.0,
+    longitudinal_field: float = 0.0,
+    periodic: bool = False,
+    max_exact_qubits: int = 16,
+) -> HamiltonianProblem:
+    """Transverse-field Ising chain ``H = -J sum Z Z - h sum X (- g sum Z)``.
+
+    ``transverse_field=coupling=1`` is the quantum critical point; at
+    ``transverse_field=0`` the ground state is the classical ferromagnet and
+    the reference product state is already exact.
+    """
+    if num_sites < 2:
+        raise ReproError("an Ising chain needs at least two sites")
+    return _ising_from_bonds(
+        name=f"ising_chain(n={num_sites},h={transverse_field:g},J={coupling:g})"
+        + (",pbc" if periodic else ""),
+        num_sites=num_sites,
+        bonds=chain_bonds(num_sites, periodic=periodic),
+        transverse_field=float(transverse_field),
+        coupling=float(coupling),
+        longitudinal_field=float(longitudinal_field),
+        max_exact_qubits=max_exact_qubits,
+        metadata={
+            "family": "ising_chain",
+            "num_sites": int(num_sites),
+            "transverse_field": float(transverse_field),
+            "coupling": float(coupling),
+            "longitudinal_field": float(longitudinal_field),
+            "periodic": bool(periodic),
+        },
+    )
+
+
+def ising_lattice(
+    rows: int = 2,
+    cols: int = 3,
+    transverse_field: float = 1.0,
+    coupling: float = 1.0,
+    longitudinal_field: float = 0.0,
+    max_exact_qubits: int = 16,
+) -> HamiltonianProblem:
+    """Transverse-field Ising model on an open ``rows x cols`` square lattice."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ReproError("an Ising lattice needs at least two sites")
+    return _ising_from_bonds(
+        name=f"ising_lattice({rows}x{cols},h={transverse_field:g},J={coupling:g})",
+        num_sites=rows * cols,
+        bonds=grid_bonds(rows, cols),
+        transverse_field=float(transverse_field),
+        coupling=float(coupling),
+        longitudinal_field=float(longitudinal_field),
+        max_exact_qubits=max_exact_qubits,
+        metadata={
+            "family": "ising_lattice",
+            "rows": int(rows),
+            "cols": int(cols),
+            "transverse_field": float(transverse_field),
+            "coupling": float(coupling),
+            "longitudinal_field": float(longitudinal_field),
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Heisenberg XXZ
+# --------------------------------------------------------------------------- #
+def xxz_chain(
+    num_sites: int = 4,
+    coupling_xy: float = 1.0,
+    coupling_z: float = 1.0,
+    field_z: float = 0.0,
+    periodic: bool = False,
+    max_exact_qubits: int = 16,
+) -> HamiltonianProblem:
+    """Heisenberg XXZ chain ``H = sum [Jxy (XX + YY) + Jz ZZ] - hz sum Z``.
+
+    ``coupling_xy == coupling_z`` is the isotropic Heisenberg chain; the
+    antiferromagnetic reference (the Néel basis state) is the classical
+    baseline the search must beat.
+    """
+    if num_sites < 2:
+        raise ReproError("an XXZ chain needs at least two sites")
+    terms: List[Tuple[str, complex]] = []
+    for left, right in chain_bonds(num_sites, periodic=periodic):
+        terms.append(
+            (_label(num_sites, [(left, "X"), (right, "X")]), float(coupling_xy))
+        )
+        terms.append(
+            (_label(num_sites, [(left, "Y"), (right, "Y")]), float(coupling_xy))
+        )
+        terms.append(
+            (_label(num_sites, [(left, "Z"), (right, "Z")]), float(coupling_z))
+        )
+    if field_z:
+        for site in range(num_sites):
+            terms.append((_label(num_sites, [(site, "Z")]), -float(field_z)))
+    hamiltonian = PauliSum(terms, num_qubits=num_sites)
+    return _spin_problem(
+        name=f"xxz_chain(n={num_sites},Jxy={coupling_xy:g},Jz={coupling_z:g})"
+        + (",pbc" if periodic else ""),
+        hamiltonian=hamiltonian,
+        max_exact_qubits=max_exact_qubits,
+        metadata={
+            "family": "xxz_chain",
+            "num_sites": int(num_sites),
+            "coupling_xy": float(coupling_xy),
+            "coupling_z": float(coupling_z),
+            "field_z": float(field_z),
+            "periodic": bool(periodic),
+        },
+    )

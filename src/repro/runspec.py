@@ -1,0 +1,269 @@
+"""The unified front door: declarative run specs and ``repro.run``.
+
+A :class:`RunSpec` is a JSON-round-trippable description of one CAFQA run —
+which problem (by registry name plus options, or a prebuilt
+:class:`~repro.problems.base.ProblemSpec`), the ansatz depth, the search
+budget, how many restart seeds across how many workers, where to cache /
+checkpoint, and an optional post-search VQE tuning stage (noiseless or with
+a fake-device noise preset).
+
+:func:`run` consumes a spec and always routes through
+:class:`~repro.core.orchestrator.SearchOrchestrator` — even a single-seed
+run — so evaluation caching and checkpoint/resume are never opt-in side
+paths.  The legacy entrypoints (``run_cafqa``, direct ``CafqaSearch``
+wiring in the examples, ``evaluate_molecule``) forward here.
+
+Reproducibility contract: a spec fully determines the search trajectory
+(same spec => bit-identical results, independent of worker count), and
+:meth:`RunSpec.options_digest` is the same digest the checkpoint layer
+stores, so a resumed run validates against the spec that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import ReproError
+from repro.problems.base import ProblemSpec, reference_energy_of
+
+__all__ = ["RunSpec", "RunReport", "run"]
+
+
+@dataclass
+class RunSpec:
+    """Declarative configuration of one CAFQA run.
+
+    ``problem`` is a registry name (see ``repro.problems.list_problems()``)
+    built with ``problem_options``, or a prebuilt ``ProblemSpec`` instance
+    (programmatic use only — such a spec is not JSON-serializable).
+    ``search_options`` is forwarded to :class:`~repro.core.search
+    .CafqaSearch` (e.g. ``warmup_fraction``, ``local_refinement``,
+    ``spin_z_target``); keep it JSON-typed if the spec must round-trip.
+    """
+
+    problem: Union[str, ProblemSpec]
+    problem_options: Dict[str, object] = field(default_factory=dict)
+    ansatz_reps: int = 1
+    max_evaluations: int = 300
+    num_seeds: int = 1
+    seed: Optional[int] = 0
+    max_workers: Optional[int] = None
+    cache_dir: Optional[str] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_interval: int = 32
+    noise: Optional[str] = None
+    vqe_iterations: int = 0
+    search_options: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        if not isinstance(self.problem, str):
+            raise ReproError(
+                "a RunSpec built around a ProblemSpec instance cannot be "
+                "serialized; name the problem via the registry instead"
+            )
+        return asdict(self)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "RunSpec":
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ReproError(f"unknown RunSpec fields: {', '.join(unknown)}")
+        if "problem" not in payload:
+            raise ReproError("RunSpec needs a problem")
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ReproError("RunSpec JSON must be an object")
+        return cls.from_dict(payload)
+
+    # ------------------------------------------------------------------ #
+    # orchestrator wiring
+    # ------------------------------------------------------------------ #
+    def resolve_problem(self) -> ProblemSpec:
+        """Build (or pass through) the problem this spec names."""
+        if isinstance(self.problem, str):
+            from repro import problems
+
+            return problems.get(self.problem, **self.problem_options)
+        if self.problem_options:
+            raise ReproError(
+                "problem_options only apply when the problem is a registry name"
+            )
+        return self.problem
+
+    def split_search_options(self):
+        """(loop options, orchestrator-level extras) from ``search_options``.
+
+        ``ansatz`` and ``ansatz_reps`` are consumed by the orchestrator
+        constructor (an ``ansatz_reps`` in ``search_options`` overrides the
+        spec field, which keeps legacy ``**search_options`` call sites
+        working); everything else is forwarded to each restart's
+        ``CafqaSearch``.
+        """
+        options = dict(self.search_options)
+        extras = {"ansatz_reps": int(options.pop("ansatz_reps", self.ansatz_reps))}
+        if "ansatz" in options:
+            extras["ansatz"] = options.pop("ansatz")
+        return options, extras
+
+    def options_digest(self) -> str:
+        """The digest the checkpoint layer validates resumed restarts against.
+
+        Identical to what :class:`~repro.core.orchestrator
+        .SearchOrchestrator` computes for this spec's search options, so a
+        checkpoint written by ``run(spec)`` matches ``spec.options_digest()``.
+        """
+        from repro.core.orchestrator import _OBJECTIVE_OPTIONS, options_digest
+
+        options, _ = self.split_search_options()
+        loop_options = {
+            key: value
+            for key, value in options.items()
+            if key not in _OBJECTIVE_OPTIONS
+        }
+        return options_digest(loop_options)
+
+    @property
+    def problem_label(self) -> str:
+        return self.problem if isinstance(self.problem, str) else self.problem.name
+
+
+@dataclass
+class RunReport:
+    """Everything one :func:`run` produced, with a JSON-able summary."""
+
+    spec: RunSpec
+    problem: ProblemSpec = field(repr=False)
+    result: "MultiSeedResult" = field(repr=False)  # noqa: F821
+    vqe: Optional["VQEResult"] = field(default=None, repr=False)  # noqa: F821
+
+    # ------------------------------------------------------------------ #
+    @property
+    def best(self) -> "CafqaResult":  # noqa: F821
+        """The best restart's :class:`~repro.core.search.CafqaResult`."""
+        return self.result.best
+
+    @property
+    def energy(self) -> float:
+        """Best plain (unconstrained) energy across restarts, in problem units."""
+        return self.result.best.energy
+
+    @property
+    def reference_energy(self) -> float:
+        return reference_energy_of(self.problem)
+
+    @property
+    def exact_energy(self) -> Optional[float]:
+        return self.problem.exact_energy
+
+    @property
+    def error(self) -> Optional[float]:
+        if self.exact_energy is None:
+            return None
+        return abs(self.energy - self.exact_energy)
+
+    @property
+    def improvement_over_reference(self) -> float:
+        return self.reference_energy - self.energy
+
+    @property
+    def final_energy(self) -> float:
+        """Energy after the optional VQE stage (the search energy otherwise)."""
+        if self.vqe is None:
+            return self.energy
+        return float(self.vqe.final_energy)
+
+    @property
+    def best_indices(self) -> List[int]:
+        return list(self.result.best.best_indices)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able summary row (spec echo + headline numbers)."""
+        payload = {
+            "problem": self.spec.problem_label,
+            "num_qubits": int(self.problem.num_qubits),
+            "num_seeds": self.result.num_restarts,
+            "total_evaluations": self.result.total_evaluations,
+            "energy": self.energy,
+            "reference_energy": self.reference_energy,
+            "exact_energy": self.exact_energy,
+            "error": self.error,
+            "improvement_over_reference": self.improvement_over_reference,
+            "best_indices": self.best_indices,
+            "options_digest": self.spec.options_digest(),
+        }
+        if self.vqe is not None:
+            payload["vqe_final_energy"] = float(self.vqe.final_energy)
+            payload["vqe_noisy"] = bool(self.vqe.noisy)
+        return payload
+
+    def __repr__(self) -> str:
+        exact = "n/a" if self.exact_energy is None else f"{self.exact_energy:.6f}"
+        return (
+            f"RunReport({self.spec.problem_label!r}, E={self.energy:.6f}, "
+            f"ref={self.reference_energy:.6f}, exact={exact}, "
+            f"seeds={self.result.num_restarts})"
+        )
+
+
+def run(spec: RunSpec, problem: Optional[ProblemSpec] = None) -> RunReport:
+    """Execute a :class:`RunSpec` and return its :class:`RunReport`.
+
+    Every run — including single-seed ones — goes through the
+    :class:`~repro.core.orchestrator.SearchOrchestrator`, so evaluation
+    caching (``cache_dir``) and checkpoint/resume (``checkpoint_dir``) apply
+    uniformly; a 1-seed inline run is bit-identical to a direct
+    ``CafqaSearch``.  ``problem`` overrides the spec's problem resolution
+    with a prebuilt instance (used by the legacy wrappers and sweeps).
+    """
+    from repro.core.orchestrator import SearchOrchestrator
+
+    if spec.noise and not spec.vqe_iterations:
+        raise ReproError(
+            "noise presets only apply to the VQE stage (the Clifford search is "
+            "exact classical simulation); set vqe_iterations > 0 or drop noise"
+        )
+    if problem is None:
+        problem = spec.resolve_problem()
+    search_options, extras = spec.split_search_options()
+    orchestrator = SearchOrchestrator(
+        problem,
+        num_restarts=int(spec.num_seeds),
+        max_workers=spec.max_workers,
+        seed=spec.seed,
+        cache_dir=spec.cache_dir,
+        checkpoint_interval=int(spec.checkpoint_interval),
+        **extras,
+        **search_options,
+    )
+    result = orchestrator.run(
+        max_evaluations=int(spec.max_evaluations),
+        checkpoint_dir=spec.checkpoint_dir,
+    )
+
+    vqe = None
+    if spec.vqe_iterations:
+        from repro.core.vqe import VQERunner
+        from repro.noise.devices import fake_device
+
+        noise_model = fake_device(spec.noise) if spec.noise else None
+        runner = VQERunner(
+            problem, ansatz=result.best.ansatz, noise_model=noise_model
+        )
+        vqe = runner.run_from_cafqa(
+            result.best, max_iterations=int(spec.vqe_iterations)
+        )
+
+    return RunReport(spec=spec, problem=problem, result=result, vqe=vqe)

@@ -1,0 +1,218 @@
+"""The unified front door: RunSpec serialization, digests, and repro.run.
+
+Pins the acceptance contract of the API redesign: a spec fully determines a
+run (JSON round-trip, stable options digest shared with the checkpoint
+layer), every run routes through the orchestrator (single-seed runs are
+bit-identical to a direct ``CafqaSearch``; checkpointed runs resume), the
+paper-style best-of-8-seeds H2 search reproduces the pinned PR-2/PR-3
+energy bit-for-bit, and the legacy ``run_cafqa`` shim warns and matches.
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.core import CafqaSearch, run_cafqa
+from repro.core.orchestrator import _OBJECTIVE_OPTIONS, options_digest
+from repro.exceptions import ReproError
+from repro.problems import ising_chain
+from repro.runspec import RunSpec, run
+
+# Best-of-8-seeds H2 @ 2.5 A, reps=2, seed 0, 400 evaluations — the value
+# recorded in BENCH_orchestrator.json since PR 2 and unchanged by PR 3.
+PINNED_H2_8SEED_ENERGY = -0.9316389097681868
+
+
+# --------------------------------------------------------------------------- #
+# serialization
+# --------------------------------------------------------------------------- #
+class TestRunSpecSerialization:
+    def test_json_round_trip_preserves_everything(self):
+        spec = RunSpec(
+            problem="xxz_chain",
+            problem_options={"num_sites": 4, "coupling_z": 0.5},
+            ansatz_reps=2,
+            max_evaluations=123,
+            num_seeds=3,
+            seed=7,
+            max_workers=2,
+            cache_dir="cache",
+            checkpoint_dir="ckpt",
+            checkpoint_interval=16,
+            noise="casablanca_like",
+            vqe_iterations=25,
+            search_options={"warmup_fraction": 0.4, "local_refinement": False},
+        )
+        restored = RunSpec.from_json(spec.to_json())
+        assert restored == spec
+        # and the JSON itself is deterministic (sorted keys)
+        assert spec.to_json() == restored.to_json()
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ReproError, match="unknown RunSpec fields"):
+            RunSpec.from_dict({"problem": "H2", "budget": 10})
+        with pytest.raises(ReproError, match="needs a problem"):
+            RunSpec.from_dict({"max_evaluations": 10})
+        with pytest.raises(ReproError, match="must be an object"):
+            RunSpec.from_json("[1, 2]")
+
+    def test_problem_instances_do_not_serialize(self):
+        spec = RunSpec(problem=ising_chain(num_sites=3))
+        assert spec.problem_label.startswith("ising_chain")
+        with pytest.raises(ReproError, match="cannot be serialized"):
+            spec.to_dict()
+
+    def test_problem_options_require_a_registry_name(self):
+        spec = RunSpec(
+            problem=ising_chain(num_sites=3), problem_options={"num_sites": 4}
+        )
+        with pytest.raises(ReproError, match="registry name"):
+            spec.resolve_problem()
+
+
+# --------------------------------------------------------------------------- #
+# options digest (shared with the checkpoint layer)
+# --------------------------------------------------------------------------- #
+class TestOptionsDigest:
+    def test_digest_is_stable_and_option_sensitive(self):
+        base = RunSpec(problem="H2", search_options={"warmup_fraction": 0.5})
+        same = RunSpec.from_json(base.to_json())
+        other = RunSpec(problem="H2", search_options={"warmup_fraction": 0.6})
+        assert base.options_digest() == same.options_digest()
+        assert base.options_digest() != other.options_digest()
+
+    def test_digest_matches_orchestrator_convention(self):
+        # Objective options (constraint / spin_z_target / penalty_weight)
+        # are split off before digesting, exactly as the orchestrator does.
+        loop_options = {"warmup_fraction": 0.5, "local_refinement": False}
+        spec = RunSpec(
+            problem="H2",
+            search_options={**loop_options, "spin_z_target": 1.0},
+        )
+        assert "spin_z_target" in _OBJECTIVE_OPTIONS
+        assert spec.options_digest() == options_digest(loop_options)
+
+    def test_checkpoints_written_by_run_carry_the_spec_digest(
+        self, h2_stretched_problem, tmp_path
+    ):
+        spec = RunSpec(
+            problem="H2",
+            max_evaluations=40,
+            num_seeds=2,
+            seed=1,
+            checkpoint_dir=str(tmp_path),
+        )
+        first = run(spec, problem=h2_stretched_problem)
+        payloads = [
+            json.loads(path.read_text()) for path in sorted(tmp_path.glob("restart_*.json"))
+        ]
+        assert len(payloads) == 2
+        assert all(p["options_digest"] == spec.options_digest() for p in payloads)
+        # A second run of the same spec resumes every restart bit-for-bit.
+        second = run(spec, problem=h2_stretched_problem)
+        assert all(trace.from_checkpoint for trace in second.result.traces)
+        assert second.energy == first.energy
+        assert second.best_indices == first.best_indices
+
+
+# --------------------------------------------------------------------------- #
+# the front door
+# --------------------------------------------------------------------------- #
+class TestRunFrontDoor:
+    def test_single_seed_run_matches_direct_search(self, h2_stretched_problem):
+        direct = CafqaSearch(h2_stretched_problem, seed=4).run(max_evaluations=50)
+        report = run(
+            RunSpec(problem="H2", max_evaluations=50, num_seeds=1, seed=4),
+            problem=h2_stretched_problem,
+        )
+        assert report.energy == direct.energy
+        assert report.best_indices == direct.best_indices
+        assert report.best.constrained_energy == direct.constrained_energy
+        assert report.reference_energy == h2_stretched_problem.hf_energy
+
+    def test_spec_can_carry_a_problem_instance(self):
+        spec = RunSpec(problem=ising_chain(num_sites=3), max_evaluations=30, seed=0)
+        report = repro.run(spec)
+        assert report.problem.num_qubits == 3
+        assert report.energy <= report.reference_energy + 1e-9
+
+    def test_vqe_stage_runs_after_the_search(self):
+        spec = RunSpec(
+            problem="ising_chain",
+            problem_options={"num_sites": 3, "transverse_field": 1.5},
+            max_evaluations=40,
+            seed=0,
+            vqe_iterations=10,
+        )
+        report = repro.run(spec)
+        assert report.vqe is not None
+        assert report.vqe.initial_label == "cafqa"
+        assert not report.vqe.noisy
+        assert report.final_energy <= report.energy + 1e-9
+        assert "vqe_final_energy" in report.to_dict()
+
+    def test_noise_without_a_vqe_stage_is_rejected(self, h2_problem):
+        spec = RunSpec(problem="H2", max_evaluations=20, noise="casablanca_like")
+        with pytest.raises(ReproError, match="vqe_iterations"):
+            run(spec, problem=h2_problem)
+
+    def test_noise_preset_reaches_the_vqe_stage(self, h2_problem):
+        spec = RunSpec(
+            problem="H2",
+            max_evaluations=30,
+            seed=0,
+            vqe_iterations=5,
+            noise="casablanca_like",
+        )
+        report = run(spec, problem=h2_problem)
+        assert report.vqe is not None
+        assert report.vqe.noisy
+
+    def test_pinned_8_seed_h2_energy_reproduces(self):
+        """Acceptance pin: the PR-2/PR-3 best-of-8-seeds H2 search through
+        the new front door is bit-for-bit the recorded benchmark energy."""
+        spec = RunSpec(
+            problem="H2",
+            problem_options={"bond_length": 2.5},
+            ansatz_reps=2,
+            max_evaluations=400,
+            num_seeds=8,
+            seed=0,
+        )
+        report = repro.run(spec)
+        assert report.energy == PINNED_H2_8SEED_ENERGY
+        assert report.result.num_restarts == 8
+
+
+# --------------------------------------------------------------------------- #
+# deprecation shims
+# --------------------------------------------------------------------------- #
+class TestDeprecatedEntrypoints:
+    def test_run_cafqa_warns_and_matches_direct_search(self, h2_problem):
+        direct = CafqaSearch(h2_problem, seed=2).run(max_evaluations=40)
+        with pytest.warns(DeprecationWarning, match="repro.run"):
+            shimmed = run_cafqa(h2_problem, max_evaluations=40, seed=2)
+        assert shimmed.energy == direct.energy
+        assert shimmed.best_indices == direct.best_indices
+        assert shimmed.constrained_energy == direct.constrained_energy
+
+    def test_reference_aliases(self, h2_problem):
+        search = CafqaSearch(h2_problem, seed=0)
+        assert search.hartree_fock_indices() == search.reference_indices()
+
+    def test_run_cafqa_still_accepts_an_injected_objective(self, h2_problem):
+        from repro.circuits import EfficientSU2Ansatz
+        from repro.core import CliffordObjective
+
+        objective = CliffordObjective(
+            h2_problem, EfficientSU2Ansatz(h2_problem.num_qubits, reps=1)
+        )
+        with pytest.warns(DeprecationWarning):
+            result = run_cafqa(
+                h2_problem, max_evaluations=20, seed=0, objective=objective
+            )
+        direct = CafqaSearch(h2_problem, seed=0, objective=objective).run(
+            max_evaluations=20
+        )
+        assert result.energy == direct.energy
