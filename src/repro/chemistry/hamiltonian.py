@@ -90,6 +90,19 @@ class MolecularProblem:
 
         return ParticleConstraint(self.num_alpha, self.num_beta)
 
+    def exact_spectrum(self, num_states: int) -> Optional[List[float]]:
+        """Lowest-``num_states`` FCI energies of the qubit Hamiltonian.
+
+        ``None`` when the problem was built without exact references (too
+        many qubits or ``compute_exact=False``).  Note the spectrum covers
+        *all* particle sectors of the qubit space; sector-resolved
+        comparisons should filter dense eigenvectors by the number
+        operators.
+        """
+        from repro.problems.base import hamiltonian_exact_spectrum
+
+        return hamiltonian_exact_spectrum(self, num_states)
+
     @property
     def correlation_energy(self) -> Optional[float]:
         """Exact minus Hartree–Fock energy (negative), if exact is known."""

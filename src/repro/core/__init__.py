@@ -1,11 +1,21 @@
 """CAFQA core: Clifford-space search, constraints, metrics, VQE, and pipelines."""
 
 from repro.core.constraints import (
+    DEFAULT_DEFLATION_WEIGHT,
     DEFAULT_PENALTY_WEIGHT,
+    CompositeConstraint,
+    DeflationConstraint,
     OperatorPenalty,
     ParticleConstraint,
+    combine_constraints,
     constrained_hamiltonian,
+    overlap_penalties_of,
     quadratic_penalty,
+)
+from repro.core.excited import (
+    ExcitedStateLevel,
+    ExcitedStatesResult,
+    find_lowest_states,
 )
 from repro.core.metrics import (
     CHEMICAL_ACCURACY,
@@ -52,9 +62,17 @@ from repro.core.vqe import VQEResult, VQERunner
 __all__ = [
     "ParticleConstraint",
     "OperatorPenalty",
+    "DeflationConstraint",
+    "CompositeConstraint",
+    "combine_constraints",
+    "overlap_penalties_of",
     "constrained_hamiltonian",
     "quadratic_penalty",
     "DEFAULT_PENALTY_WEIGHT",
+    "DEFAULT_DEFLATION_WEIGHT",
+    "ExcitedStateLevel",
+    "ExcitedStatesResult",
+    "find_lowest_states",
     "SearchLoopOptions",
     "CHEMICAL_ACCURACY",
     "AccuracySummary",

@@ -11,21 +11,35 @@ Constraints are problem-agnostic: any object with a
 .PauliSum` penalties plugs into :func:`constrained_hamiltonian`.
 :class:`ParticleConstraint` is the chemistry implementation (electron counts
 per spin sector); :class:`OperatorPenalty` pins the expectation of an
-arbitrary operator — the hook future Excited-CAFQA-style deflated objectives
-build on.  Problems advertise their natural constraint through an optional
-``default_constraint()`` (molecular problems return their particle sector;
-spin/graph problems return ``None``).
+arbitrary operator.  Problems advertise their natural constraint through an
+optional ``default_constraint()`` (molecular problems return their particle
+sector; spin/graph problems return ``None``).
+
+Excited-CAFQA deflation rides on a second, *non-Pauli* hook: a constraint may
+also expose ``overlap_penalties()`` — pairs of (Clifford index point, weight)
+— and :class:`~repro.core.objective.CliffordObjective` charges
+``w * |<psi|psi_k>|^2`` for each, evaluated through the polynomial stabilizer
+overlap kernel (:mod:`repro.stabilizer.overlap`) rather than an exponential
+``|psi_k><psi_k|`` Pauli expansion.  :class:`DeflationConstraint` is that
+implementation; :class:`CompositeConstraint` stacks it on top of a problem's
+symmetry constraint so excited-state searches keep their sector penalties.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.operators.pauli_sum import PauliSum
 from repro.problems.base import default_constraint_of
 
 DEFAULT_PENALTY_WEIGHT = 2.0
+
+# Deflation must lift every previously found state above the energy level
+# being searched for, i.e. the weight must exceed the spectral range of
+# interest; 10 comfortably covers the few-Hartree / few-J spectra of the
+# built-in workloads while keeping the penalty landscape smooth.
+DEFAULT_DEFLATION_WEIGHT = 10.0
 
 
 @dataclass(frozen=True)
@@ -74,6 +88,103 @@ class OperatorPenalty:
         if self.weight <= 0:
             return
         yield quadratic_penalty(self.operator, self.target, self.weight)
+
+
+@dataclass(frozen=True)
+class DeflationConstraint:
+    """Penalize overlap with previously found states (Excited-CAFQA).
+
+    ``points`` are Clifford index vectors (in the search ansatz's own
+    parameterization) of the states to deflate; the objective adds
+    ``weight * |<psi|psi_k>|^2`` for each, computed by the stabilizer
+    overlap kernel — polynomial in the qubit count, never a ``2^n`` Pauli
+    projector expansion.  Minimizing the deflated objective therefore finds
+    the lowest state (approximately) orthogonal to every recorded one, which
+    is how :func:`~repro.core.excited.find_lowest_states` walks up the
+    spectrum level by level.
+
+    ``weight`` must exceed the spectral gap being climbed (otherwise
+    re-finding a previous state is still cheaper than the next level);
+    see ``DEFAULT_DEFLATION_WEIGHT``.
+
+    Example — deflate the ground state found by a first search::
+
+        ground = repro.run(repro.RunSpec(problem="ising_chain", seed=0))
+        constraint = DeflationConstraint(points=(tuple(ground.best_indices),))
+        excited = CafqaSearch(problem, constraint=constraint, seed=0).run()
+        # excited.energy is (approximately) the first excited level
+
+    The constraint is picklable and JSON-friendly (plain index tuples), so
+    it travels to orchestrator workers and into checkpoint payloads.
+    """
+
+    points: Tuple[Tuple[int, ...], ...]
+    weight: float = DEFAULT_DEFLATION_WEIGHT
+
+    def __post_init__(self):
+        object.__setattr__(
+            self,
+            "points",
+            tuple(tuple(int(v) for v in point) for point in self.points),
+        )
+        if self.weight < 0:
+            raise ValueError("deflation weight must be non-negative")
+
+    def penalty_terms(self, problem) -> Iterator[PauliSum]:
+        """Deflation adds no Pauli terms; the penalty is a state overlap."""
+        return iter(())
+
+    def overlap_penalties(self) -> List[Tuple[Tuple[int, ...], float]]:
+        """(Clifford point, weight) pairs the objective charges overlaps for."""
+        if self.weight <= 0:
+            return []
+        return [(point, float(self.weight)) for point in self.points]
+
+
+@dataclass(frozen=True)
+class CompositeConstraint:
+    """Several constraints applied together (Pauli and overlap penalties).
+
+    Used by the excited-state driver to stack a
+    :class:`DeflationConstraint` on top of a problem's symmetry constraint
+    (e.g. the molecular particle sector), so excited levels are searched in
+    the same sector as the ground state.
+    """
+
+    parts: Tuple[object, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    def penalty_terms(self, problem) -> Iterator[PauliSum]:
+        for part in self.parts:
+            yield from part.penalty_terms(problem)
+
+    def overlap_penalties(self) -> List[Tuple[Tuple[int, ...], float]]:
+        pairs: List[Tuple[Tuple[int, ...], float]] = []
+        for part in self.parts:
+            pairs.extend(overlap_penalties_of(part))
+        return pairs
+
+
+def overlap_penalties_of(constraint) -> List[Tuple[Tuple[int, ...], float]]:
+    """The (point, weight) overlap penalties a constraint advertises, if any."""
+    if constraint is None:
+        return []
+    method = getattr(constraint, "overlap_penalties", None)
+    if not callable(method):
+        return []
+    return [(tuple(int(v) for v in point), float(weight)) for point, weight in method()]
+
+
+def combine_constraints(*parts) -> Optional[object]:
+    """Stack constraints, dropping ``None``s; ``None`` if nothing remains."""
+    remaining: Sequence[object] = [part for part in parts if part is not None]
+    if not remaining:
+        return None
+    if len(remaining) == 1:
+        return remaining[0]
+    return CompositeConstraint(parts=tuple(remaining))
 
 
 def quadratic_penalty(operator: PauliSum, target: float, weight: float) -> PauliSum:

@@ -10,20 +10,34 @@ The evaluation pipeline is compiled: the ansatz is flattened once into a
 ``QuantumCircuit`` rebuild per call), whole batches of candidate points are
 evolved together on a :class:`~repro.stabilizer.BatchedCliffordTableau`, and
 the Pauli-sum expectation is one vectorized kernel call for the entire batch.
+
+Constraints contribute through two paths: Pauli penalty terms are folded into
+the constrained operator (one Pauli-sum expectation covers them), while
+*overlap* penalties — the ``w * |<psi|psi_k>|^2`` deflation terms of
+Excited-CAFQA — are charged through the batched stabilizer overlap kernel
+(:mod:`repro.stabilizer.overlap`), since a state projector has no
+polynomial Pauli expansion.  Both paths are batched and bit-for-bit
+identical to their pointwise counterparts.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.circuits.ansatz import EfficientSU2Ansatz
 from repro.circuits.clifford_points import CliffordGateProgram, validate_clifford_point
-from repro.core.constraints import ParticleConstraint, constrained_hamiltonian
+from repro.core.constraints import (
+    ParticleConstraint,
+    constrained_hamiltonian,
+    overlap_penalties_of,
+)
 from repro.operators.pauli_sum import PauliSum
 from repro.problems.base import ProblemSpec
 from repro.stabilizer.expectation import PauliSumEvaluator
+from repro.stabilizer.overlap import stabilizer_state_overlaps
 from repro.stabilizer.tableau import BatchedCliffordTableau, CliffordTableau
 
 Point = Tuple[int, ...]
@@ -78,6 +92,29 @@ class CliffordObjective:
         self._cache: Optional[Dict[Point, float]] = {} if cache else None
         self._tableaux: Optional[Dict[Point, CliffordTableau]] = {} if cache else None
         self._evaluations = 0
+        # Non-Pauli penalty path: deflation targets are simulated once (on
+        # this objective's own compiled program) and every evaluation then
+        # charges w_k * |<psi|psi_k>|^2 through the overlap kernel.
+        pairs = overlap_penalties_of(constraint)
+        self._deflation_points: List[Point] = [
+            validate_clifford_point(point, self._ansatz.num_parameters)
+            for point, _ in pairs
+        ]
+        self._deflation_weights = np.array([weight for _, weight in pairs], dtype=float)
+        if pairs:
+            matrix = np.asarray(self._deflation_points, dtype=np.int64).reshape(
+                len(pairs), self._ansatz.num_parameters
+            )
+            self._deflation_targets: Optional[BatchedCliffordTableau] = (
+                BatchedCliffordTableau.from_program(self._program, matrix)
+            )
+            digest = hashlib.sha256()
+            for point, weight in zip(self._deflation_points, self._deflation_weights):
+                digest.update(f"{point}:{float(weight)!r};".encode())
+            self._deflation_digest: Optional[str] = digest.hexdigest()[:16]
+        else:
+            self._deflation_targets = None
+            self._deflation_digest = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -106,6 +143,38 @@ class CliffordObjective:
     def num_evaluations(self) -> int:
         """Number of distinct stabilizer simulations performed."""
         return self._evaluations
+
+    @property
+    def deflation_points(self) -> List[Point]:
+        """Clifford points whose states carry overlap (deflation) penalties."""
+        return list(self._deflation_points)
+
+    @property
+    def deflation_digest(self) -> Optional[str]:
+        """Digest of the overlap penalties, or ``None`` without deflation.
+
+        The constrained operator's fingerprint cannot see overlap penalties
+        (they are not Pauli terms), so cache/checkpoint keys fold this digest
+        in — a level-2 excited search must never reuse level-1 cache entries.
+        """
+        return self._deflation_digest
+
+    def _deflation_penalties(self, tableaux) -> np.ndarray:
+        """Summed ``w_k * |<psi|psi_k>|^2`` per batch element: ``(batch,)``."""
+        overlaps = stabilizer_state_overlaps(tableaux, self._deflation_targets)
+        return (overlaps * self._deflation_weights).sum(axis=-1)
+
+    def _constrained_value(self, tableau: CliffordTableau) -> float:
+        """Operator expectation plus deflation penalty for one tableau.
+
+        The scalar counterpart of the batch path in :meth:`evaluate_batch`;
+        both add the penalty with the same float operations, which is what
+        keeps batch and pointwise values bit-for-bit identical.
+        """
+        value = float(self._operator_evaluator.expectation(tableau))
+        if self._deflation_targets is not None:
+            value = value + float(self._deflation_penalties(tableau)[0])
+        return value
 
     # ------------------------------------------------------------------ #
     def _key(self, indices: Sequence[int]) -> Point:
@@ -142,7 +211,7 @@ class CliffordObjective:
         key = self._key(indices)
         if self._cache is not None and key in self._cache:
             return self._cache[key]
-        value = float(self._operator_evaluator.expectation(self.tableau(key)))
+        value = self._constrained_value(self.tableau(key))
         if self._cache is not None:
             self._cache[key] = value
         return value
@@ -166,13 +235,13 @@ class CliffordObjective:
         if self._tableaux is not None and pending:
             ready = [key for key in pending if key in self._tableaux]
             for key in ready:
-                values[key] = float(
-                    self._operator_evaluator.expectation(self._tableaux[key])
-                )
+                values[key] = self._constrained_value(self._tableaux[key])
             pending = [key for key in pending if key not in self._tableaux]
         if pending:
             batched = self._simulate(pending)
             energies = self._operator_evaluator.expectation_batch(batched)
+            if self._deflation_targets is not None:
+                energies = energies + self._deflation_penalties(batched)
             for position, key in enumerate(pending):
                 values[key] = float(energies[position])
         if self._cache is not None:

@@ -38,6 +38,7 @@ from repro.circuits.clifford_points import (
     indices_to_angles,
     validate_clifford_point,
 )
+from repro.core.constraints import overlap_penalties_of
 from repro.core.objective import CliffordObjective
 from repro.core.search import CafqaResult, CafqaSearch
 from repro.exceptions import OptimizationError
@@ -88,8 +89,19 @@ def ansatz_fingerprint(ansatz: EfficientSU2Ansatz) -> str:
 
 
 def objective_fingerprint(objective: CliffordObjective) -> str:
-    """Cache key prefix for an objective's *constrained* evaluations."""
-    return f"{hamiltonian_fingerprint(objective.operator)}-{ansatz_fingerprint(objective.ansatz)}"
+    """Cache key prefix for an objective's *constrained* evaluations.
+
+    Overlap (deflation) penalties are not part of the constrained Pauli
+    operator, so their digest is appended explicitly — each excited-state
+    level gets its own cache/checkpoint namespace, while plain energies
+    (:func:`energy_fingerprint`) stay shared across levels.
+    """
+    base = (
+        f"{hamiltonian_fingerprint(objective.operator)}"
+        f"-{ansatz_fingerprint(objective.ansatz)}"
+    )
+    deflation = getattr(objective, "deflation_digest", None)
+    return base if deflation is None else f"{base}-d{deflation}"
 
 
 def energy_fingerprint(objective: CliffordObjective) -> str:
@@ -479,7 +491,10 @@ def _load_finished_checkpoint(task: RestartTask) -> Optional[SeedTrace]:
 
     A checkpoint only short-circuits the restart when it matches the task's
     objective fingerprint, seed, and budget — a stale checkpoint from a
-    different configuration is ignored, not trusted.
+    different configuration is ignored, not trusted.  Unreadable payloads
+    (truncated writes, garbage bytes, wrong JSON shape, missing fields) are
+    likewise treated as stale rather than crashing the restart: the worst
+    case of a corrupted checkpoint must be a recompute, never a failed run.
     """
     if task.checkpoint_dir is None:
         return None
@@ -490,6 +505,8 @@ def _load_finished_checkpoint(task: RestartTask) -> Optional[SeedTrace]:
         payload = json.loads(path.read_text())
     except (OSError, ValueError):
         return None
+    if not isinstance(payload, dict):
+        return None
     if (
         payload.get("format") != CHECKPOINT_FORMAT
         or payload.get("status") != "done"
@@ -499,17 +516,22 @@ def _load_finished_checkpoint(task: RestartTask) -> Optional[SeedTrace]:
         or payload.get("max_evaluations") != task.max_evaluations
     ):
         return None
-    return SeedTrace(
-        restart_index=task.restart_index,
-        seed=task.seed,
-        best_indices=[int(v) for v in payload["best_indices"]],
-        energy=float(payload["energy"]),
-        constrained_energy=float(payload["constrained_energy"]),
-        num_iterations=int(payload["num_iterations"]),
-        converged_iteration=int(payload["converged_iteration"]),
-        observations=[_observation_from_row(row) for row in payload["observations"]],
-        from_checkpoint=True,
-    )
+    try:
+        return SeedTrace(
+            restart_index=task.restart_index,
+            seed=task.seed,
+            best_indices=[int(v) for v in payload["best_indices"]],
+            energy=float(payload["energy"]),
+            constrained_energy=float(payload["constrained_energy"]),
+            num_iterations=int(payload["num_iterations"]),
+            converged_iteration=int(payload["converged_iteration"]),
+            observations=[
+                _observation_from_row(row) for row in payload["observations"]
+            ],
+            from_checkpoint=True,
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 def _checkpoint_payload(task: RestartTask, status: str, **extra) -> dict:
@@ -523,6 +545,15 @@ def _checkpoint_payload(task: RestartTask, status: str, **extra) -> dict:
         "options_digest": task.options_digest,
         "problem": task.problem.name,
     }
+    # Deflated (excited-state) objectives record their overlap penalties, so
+    # a checkpoint is self-describing: the fingerprint already namespaces per
+    # level, and the payload says which states that level was deflated by.
+    pairs = overlap_penalties_of(task.objective_options.get("constraint"))
+    if pairs:
+        payload["deflation"] = {
+            "points": [[int(v) for v in point] for point, _ in pairs],
+            "weights": [float(weight) for _, weight in pairs],
+        }
     payload.update(extra)
     return payload
 

@@ -146,7 +146,11 @@ class CafqaSearch:
     molecular problems, the registry's spin/graph workloads, or custom ones.
     The search is seeded with the problem's classical reference state
     (Hartree–Fock for molecules) so the result is never worse than the
-    classical baseline; ``seed_point`` adds one more caller-chosen start.
+    classical baseline; ``seed_point`` / ``seed_points`` add caller-chosen
+    warm-up starts, and ``refine_seed_points`` additionally runs the
+    coordinate-descent refinement from each of them — the knob deflated
+    excited-state searches use to walk off previously found (penalized)
+    optima (see :mod:`repro.core.excited`).
     """
 
     def __init__(
@@ -165,6 +169,8 @@ class CafqaSearch:
         convergence_patience: Optional[int] = None,
         seed_hartree_fock: bool = True,
         seed_point: Optional[Sequence[int]] = None,
+        seed_points: Optional[Sequence[Sequence[int]]] = None,
+        refine_seed_points: bool = False,
         local_refinement: bool = True,
         refinement_sweeps: int = 4,
         refit_interval: int = 5,
@@ -210,6 +216,10 @@ class CafqaSearch:
         self._seed_point = (
             [int(v) for v in seed_point] if seed_point is not None else None
         )
+        self._seed_points = [
+            [int(v) for v in point] for point in (seed_points or [])
+        ]
+        self._refine_seed_points = bool(refine_seed_points)
         self._local_refinement = bool(local_refinement)
         self._refinement_sweeps = int(refinement_sweeps)
         self._seed = seed
@@ -249,11 +259,7 @@ class CafqaSearch:
         if max_evaluations < 2:
             raise OptimizationError("the search needs at least two evaluations")
         space = DiscreteSpace.clifford(self._ansatz.num_parameters)
-        seeds: List[Sequence[int]] = []
-        if self._seed_hf:
-            seeds.append(self.reference_indices())
-        if self._seed_point is not None:
-            seeds.append(self._seed_point)
+        seeds = self._warmup_seeds()
         optimizer = self._options.build_optimizer(
             space,
             max_evaluations=max_evaluations,
@@ -286,29 +292,59 @@ class CafqaSearch:
 
 
     # ------------------------------------------------------------------ #
+    def _warmup_seeds(self) -> List[Sequence[int]]:
+        """The warm-up points every restart evaluates, in deterministic order."""
+        seeds: List[Sequence[int]] = []
+        if self._seed_hf:
+            seeds.append(self.reference_indices())
+        seeds.extend(self._seed_points)
+        if self._seed_point is not None:
+            seeds.append(self._seed_point)
+        return seeds
+
     def _refine(
         self,
         search_result: BayesianOptimizationResult,
         callback: Optional[Callable[[Observation], None]] = None,
     ) -> BayesianOptimizationResult:
-        """Greedy coordinate descent from the incumbent over the Clifford indices."""
-        point, value, observations = coordinate_descent(
-            self._objective,
-            search_result.best_point,
-            cardinality=4,
-            max_sweeps=self._refinement_sweeps,
-            start_iteration=search_result.num_iterations,
-            callback=callback,
-        )
-        all_observations = list(search_result.observations) + observations
-        if value < search_result.best_value - 1e-12:
-            best_point, best_value = point, value
-            converged_iteration = (
-                max((o.iteration for o in observations), default=search_result.converged_iteration)
+        """Greedy coordinate descent over the Clifford indices.
+
+        Always descends from the incumbent; with ``refine_seed_points`` it
+        additionally descends from every warm-up seed.  Deflated
+        (excited-state) objectives need that: the next level usually sits one
+        entangled flip away from a *previously found* state — a point the
+        proposal loop has down-weighted because it carries the full deflation
+        penalty — so descending from the (penalized) seeds walks off the
+        deflated optimum onto the new level.  Start order is deterministic,
+        keeping the trajectory a pure function of the seed.
+        """
+        starts: List[tuple] = [tuple(int(v) for v in search_result.best_point)]
+        if self._refine_seed_points:
+            for seed_point in self._warmup_seeds():
+                candidate = tuple(int(v) for v in seed_point)
+                if candidate not in starts:
+                    starts.append(candidate)
+        all_observations = list(search_result.observations)
+        best_point = tuple(search_result.best_point)
+        best_value = search_result.best_value
+        converged_iteration = search_result.converged_iteration
+        iteration = search_result.num_iterations
+        for start in starts:
+            point, value, observations = coordinate_descent(
+                self._objective,
+                start,
+                cardinality=4,
+                max_sweeps=self._refinement_sweeps,
+                start_iteration=iteration,
+                callback=callback,
             )
-        else:
-            best_point, best_value = search_result.best_point, search_result.best_value
-            converged_iteration = search_result.converged_iteration
+            iteration += len(observations)
+            all_observations.extend(observations)
+            if value < best_value - 1e-12:
+                best_point, best_value = point, value
+                converged_iteration = max(
+                    (o.iteration for o in observations), default=converged_iteration
+                )
         return BayesianOptimizationResult(
             best_point=best_point,
             best_value=best_value,

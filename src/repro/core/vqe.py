@@ -63,7 +63,16 @@ class VQERunner:
         noise_model: Optional[NoiseModel] = None,
         optimizer: Optional[ContinuousOptimizer] = None,
         hamiltonian: Optional[PauliSum] = None,
+        seed: Optional[int] = 0,
     ):
+        """``seed`` drives the default SPSA optimizer's perturbation stream.
+
+        It is ignored when an explicit ``optimizer`` is supplied (the caller
+        owns that optimizer's RNG).  The default of 0 preserves the historic
+        behavior of ``VQERunner(problem)``; :func:`repro.runspec.run` threads
+        ``RunSpec.seed`` through here so the spec-determines-trajectory
+        contract covers the VQE stage, not just the Clifford search.
+        """
         self._problem = problem
         self._ansatz = ansatz if ansatz is not None else EfficientSU2Ansatz(
             problem.num_qubits, reps=ansatz_reps
@@ -72,7 +81,9 @@ class VQERunner:
             raise OptimizationError("ansatz and problem qubit counts differ")
         self._hamiltonian = hamiltonian if hamiltonian is not None else problem.hamiltonian
         self._noise_model = noise_model
-        self._optimizer = optimizer if optimizer is not None else SPSA(seed=0)
+        if optimizer is None:
+            optimizer = SPSA(seed=0 if seed is None else int(seed))
+        self._optimizer = optimizer
         if noise_model is None:
             self._backend = StatevectorSimulator()
         else:

@@ -47,6 +47,8 @@ __all__ = [
     "reference_bits_of",
     "reference_energy_of",
     "default_constraint_of",
+    "exact_spectrum_of",
+    "hamiltonian_exact_spectrum",
 ]
 
 
@@ -106,6 +108,37 @@ def default_constraint_of(problem):
     return factory() if callable(factory) else None
 
 
+def hamiltonian_exact_spectrum(problem, num_states: int) -> Optional[List[float]]:
+    """Lowest-``num_states`` energies by direct diagonalization, or ``None``.
+
+    Gated on the problem's ``exact_energy`` being present, so problems built
+    beyond their diagonalization limit (or with exact references disabled)
+    stay consistent between ground-state and spectrum validation.  The single
+    implementation behind every ``exact_spectrum`` method and the
+    :func:`exact_spectrum_of` fallback.
+    """
+    if getattr(problem, "exact_energy", None) is None:
+        return None
+    from repro.chemistry.exact import exact_lowest_energies
+
+    return exact_lowest_energies(problem.hamiltonian, num_states)
+
+
+def exact_spectrum_of(problem, num_states: int) -> Optional[List[float]]:
+    """The problem's lowest-``num_states`` exact energies, or ``None``.
+
+    Prefers a problem-supplied ``exact_spectrum(num_states)`` method;
+    otherwise diagonalizes the Hamiltonian directly when the problem already
+    has an exact ground-state energy (i.e. it is small enough that exact
+    references were computed at build time).  Validates Excited-CAFQA-style
+    deflated searches the way ``exact_energy`` validates ground states.
+    """
+    method = getattr(problem, "exact_spectrum", None)
+    if callable(method):
+        return method(num_states)
+    return hamiltonian_exact_spectrum(problem, num_states)
+
+
 # --------------------------------------------------------------------------- #
 # the generic implementation
 # --------------------------------------------------------------------------- #
@@ -150,6 +183,10 @@ class HamiltonianProblem:
 
     def default_constraint(self):
         return None
+
+    def exact_spectrum(self, num_states: int) -> Optional[List[float]]:
+        """Lowest-``num_states`` exact energies (``None`` past the diag limit)."""
+        return hamiltonian_exact_spectrum(self, num_states)
 
     def __repr__(self) -> str:
         exact = "n/a" if self.exact_energy is None else f"{self.exact_energy:.6f}"

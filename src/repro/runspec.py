@@ -21,10 +21,12 @@ stores, so a resumed run validates against the spec that produced it.
 
 from __future__ import annotations
 
+import copy
 import json
 from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional, Union
 
+from repro.core.constraints import DEFAULT_DEFLATION_WEIGHT
 from repro.exceptions import ReproError
 from repro.problems.base import ProblemSpec, reference_energy_of
 
@@ -41,6 +43,13 @@ class RunSpec:
     ``search_options`` is forwarded to :class:`~repro.core.search
     .CafqaSearch` (e.g. ``warmup_fraction``, ``local_refinement``,
     ``spin_z_target``); keep it JSON-typed if the spec must round-trip.
+
+    ``num_states > 1`` turns the run into an Excited-CAFQA spectrum search:
+    the lowest ``num_states`` states are found by sequential deflation
+    (``deflation_weight`` per recorded state; see
+    :func:`repro.core.excited.find_lowest_states`), each level a full
+    multi-seed orchestrated search sharing this spec's cache/checkpoint
+    directories.
     """
 
     problem: Union[str, ProblemSpec]
@@ -55,7 +64,17 @@ class RunSpec:
     checkpoint_interval: int = 32
     noise: Optional[str] = None
     vqe_iterations: int = 0
+    num_states: int = 1
+    deflation_weight: float = DEFAULT_DEFLATION_WEIGHT
     search_options: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        # Own the option payloads: callers (and ``from_dict``) may keep
+        # mutating the dicts they passed in — including nested lists like
+        # ``seed_points`` — which must not silently change this spec or its
+        # ``options_digest``.
+        self.problem_options = copy.deepcopy(self.problem_options)
+        self.search_options = copy.deepcopy(self.search_options)
 
     # ------------------------------------------------------------------ #
     # serialization
@@ -124,6 +143,12 @@ class RunSpec:
         Identical to what :class:`~repro.core.orchestrator
         .SearchOrchestrator` computes for this spec's search options, so a
         checkpoint written by ``run(spec)`` matches ``spec.options_digest()``.
+
+        One exception: in a spectrum run (``num_states > 1``), deflated
+        levels derive extra search options (the found states as warm-up
+        seeds), so *their* checkpoints carry the digest of those derived
+        options — level 0's checkpoints match this digest, and a rerun of
+        the same spec re-derives the later levels' digests identically.
         """
         from repro.core.orchestrator import _OBJECTIVE_OPTIONS, options_digest
 
@@ -142,12 +167,18 @@ class RunSpec:
 
 @dataclass
 class RunReport:
-    """Everything one :func:`run` produced, with a JSON-able summary."""
+    """Everything one :func:`run` produced, with a JSON-able summary.
+
+    For spectrum runs (``spec.num_states > 1``) the ground level fills the
+    legacy fields (``result``, ``energy``, ...) and ``states`` carries the
+    full per-level :class:`~repro.core.excited.ExcitedStatesResult`.
+    """
 
     spec: RunSpec
     problem: ProblemSpec = field(repr=False)
     result: "MultiSeedResult" = field(repr=False)  # noqa: F821
     vqe: Optional["VQEResult"] = field(default=None, repr=False)  # noqa: F821
+    states: Optional["ExcitedStatesResult"] = field(default=None, repr=False)  # noqa: F821
 
     # ------------------------------------------------------------------ #
     @property
@@ -189,6 +220,20 @@ class RunReport:
     def best_indices(self) -> List[int]:
         return list(self.result.best.best_indices)
 
+    @property
+    def state_energies(self) -> Optional[List[float]]:
+        """Per-level plain energies of a spectrum run (``None`` otherwise)."""
+        if self.states is None:
+            return None
+        return self.states.energies
+
+    @property
+    def exact_spectrum(self) -> Optional[List[float]]:
+        """Exact lowest-``num_states`` energies of a spectrum run, if known."""
+        if self.states is None:
+            return None
+        return self.states.exact_spectrum
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-able summary row (spec echo + headline numbers)."""
         payload = {
@@ -204,6 +249,11 @@ class RunReport:
             "best_indices": self.best_indices,
             "options_digest": self.spec.options_digest(),
         }
+        if self.states is not None:
+            payload["num_states"] = self.states.num_states
+            payload["deflation_weight"] = self.states.deflation_weight
+            payload["state_energies"] = self.states.energies
+            payload["exact_spectrum"] = self.states.exact_spectrum
         if self.vqe is not None:
             payload["vqe_final_energy"] = float(self.vqe.final_energy)
             payload["vqe_noisy"] = bool(self.vqe.noisy)
@@ -227,6 +277,11 @@ def run(spec: RunSpec, problem: Optional[ProblemSpec] = None) -> RunReport:
     uniformly; a 1-seed inline run is bit-identical to a direct
     ``CafqaSearch``.  ``problem`` overrides the spec's problem resolution
     with a prebuilt instance (used by the legacy wrappers and sweeps).
+
+    With ``num_states > 1`` the run walks the lowest ``num_states`` levels
+    by sequential deflation (each level its own orchestrated search); the
+    optional VQE stage then tunes the *ground* level's initialization, as in
+    the single-state case.
     """
     from repro.core.orchestrator import SearchOrchestrator
 
@@ -235,23 +290,45 @@ def run(spec: RunSpec, problem: Optional[ProblemSpec] = None) -> RunReport:
             "noise presets only apply to the VQE stage (the Clifford search is "
             "exact classical simulation); set vqe_iterations > 0 or drop noise"
         )
+    if spec.num_states < 1:
+        raise ReproError("num_states must be at least one")
     if problem is None:
         problem = spec.resolve_problem()
     search_options, extras = spec.split_search_options()
-    orchestrator = SearchOrchestrator(
-        problem,
-        num_restarts=int(spec.num_seeds),
-        max_workers=spec.max_workers,
-        seed=spec.seed,
-        cache_dir=spec.cache_dir,
-        checkpoint_interval=int(spec.checkpoint_interval),
-        **extras,
-        **search_options,
-    )
-    result = orchestrator.run(
-        max_evaluations=int(spec.max_evaluations),
-        checkpoint_dir=spec.checkpoint_dir,
-    )
+    states = None
+    if spec.num_states > 1:
+        from repro.core.excited import find_lowest_states
+
+        states = find_lowest_states(
+            problem,
+            num_states=int(spec.num_states),
+            max_evaluations=int(spec.max_evaluations),
+            deflation_weight=float(spec.deflation_weight),
+            num_restarts=int(spec.num_seeds),
+            max_workers=spec.max_workers,
+            seed=spec.seed,
+            cache_dir=spec.cache_dir,
+            checkpoint_dir=spec.checkpoint_dir,
+            checkpoint_interval=int(spec.checkpoint_interval),
+            **extras,
+            **search_options,
+        )
+        result = states.ground.result
+    else:
+        orchestrator = SearchOrchestrator(
+            problem,
+            num_restarts=int(spec.num_seeds),
+            max_workers=spec.max_workers,
+            seed=spec.seed,
+            cache_dir=spec.cache_dir,
+            checkpoint_interval=int(spec.checkpoint_interval),
+            **extras,
+            **search_options,
+        )
+        result = orchestrator.run(
+            max_evaluations=int(spec.max_evaluations),
+            checkpoint_dir=spec.checkpoint_dir,
+        )
 
     vqe = None
     if spec.vqe_iterations:
@@ -259,11 +336,16 @@ def run(spec: RunSpec, problem: Optional[ProblemSpec] = None) -> RunReport:
         from repro.noise.devices import fake_device
 
         noise_model = fake_device(spec.noise) if spec.noise else None
+        # The spec's seed drives the default SPSA perturbation stream, so the
+        # whole trajectory — search and VQE stage — is a function of the spec.
         runner = VQERunner(
-            problem, ansatz=result.best.ansatz, noise_model=noise_model
+            problem,
+            ansatz=result.best.ansatz,
+            noise_model=noise_model,
+            seed=spec.seed,
         )
         vqe = runner.run_from_cafqa(
             result.best, max_iterations=int(spec.vqe_iterations)
         )
 
-    return RunReport(spec=spec, problem=problem, result=result, vqe=vqe)
+    return RunReport(spec=spec, problem=problem, result=result, vqe=vqe, states=states)

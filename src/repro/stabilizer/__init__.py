@@ -7,6 +7,11 @@ CAFQA search loop runs on.
 """
 
 from repro.stabilizer.expectation import PauliSumEvaluator
+from repro.stabilizer.overlap import (
+    overlap_squared,
+    stabilizer_overlap_matrix,
+    stabilizer_state_overlaps,
+)
 from repro.stabilizer.simulator import StabilizerSimulator, expectation_from_tableau
 from repro.stabilizer.symplectic import (
     bit_counts,
@@ -31,8 +36,11 @@ __all__ = [
     "bit_counts",
     "expectation_from_tableau",
     "num_words",
+    "overlap_squared",
     "pack_bits",
     "pauli_product_phase",
     "stabilizer_expectations",
+    "stabilizer_overlap_matrix",
+    "stabilizer_state_overlaps",
     "unpack_bits",
 ]

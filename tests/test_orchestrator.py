@@ -334,3 +334,122 @@ class TestCheckpointResume:
         assert abs(evaluation.cafqa_energy - exact) <= CHEMICAL_ACCURACY
         assert evaluation.summary.chemically_accurate
         assert evaluation.cafqa_energy <= evaluation.hf_energy + 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# checkpoint corruption
+# --------------------------------------------------------------------------- #
+class TestCheckpointCorruption:
+    """A corrupted or mismatched restart_*.json must mean "recompute", never a
+    crash or a silently-trusted stale result.  Covers every mismatch branch of
+    ``_load_finished_checkpoint`` (format, fingerprint, digest, seed, budget)
+    plus unreadable payload shapes."""
+
+    @pytest.fixture()
+    def finished_task(self, tmp_path):
+        """A RestartTask whose checkpoint file exists with status 'done'."""
+        from repro.core.orchestrator import (
+            RestartTask,
+            options_digest,
+            run_restart,
+        )
+        from repro.problems import ising_chain
+
+        problem = ising_chain(num_sites=3, transverse_field=1.0)
+        ansatz = EfficientSU2Ansatz(problem.num_qubits, reps=1)
+        objective = CliffordObjective(problem, ansatz)
+        task = RestartTask(
+            restart_index=0,
+            seed=5,
+            max_evaluations=24,
+            problem=problem,
+            ansatz=ansatz,
+            objective_options={},
+            search_options={},
+            objective_fp=objective_fingerprint(objective),
+            options_digest=options_digest({}),
+            store_dir=None,
+            checkpoint_dir=str(tmp_path),
+            checkpoint_interval=8,
+        )
+        trace = run_restart(task)
+        assert not trace.from_checkpoint
+        return task
+
+    def _checkpoint_file(self, task):
+        from repro.core.orchestrator import _checkpoint_path
+
+        return _checkpoint_path(task)
+
+    def test_intact_checkpoint_loads(self, finished_task):
+        from repro.core.orchestrator import _load_finished_checkpoint
+
+        trace = _load_finished_checkpoint(finished_task)
+        assert trace is not None and trace.from_checkpoint
+
+    @pytest.mark.parametrize(
+        "field,stale_value",
+        [
+            ("format", 999),
+            ("status", "running"),
+            ("objective_fingerprint", "deadbeef-deadbeef"),
+            ("options_digest", "deadbeef"),
+            ("seed", 6),
+            ("max_evaluations", 25),
+        ],
+    )
+    def test_every_mismatch_branch_is_treated_as_stale(
+        self, finished_task, field, stale_value
+    ):
+        from repro.core.orchestrator import _load_finished_checkpoint
+
+        path = self._checkpoint_file(finished_task)
+        payload = json.loads(path.read_text())
+        payload[field] = stale_value
+        path.write_text(json.dumps(payload))
+        assert _load_finished_checkpoint(finished_task) is None
+
+    @pytest.mark.parametrize(
+        "content",
+        [
+            "",  # empty file
+            "{\"format\": 1, \"status\": \"do",  # truncated mid-write
+            "not json at all \x00\x01",  # garbage bytes
+            "[1, 2, 3]",  # valid JSON, wrong shape
+            "null",
+            "\"a string\"",
+        ],
+        ids=["empty", "truncated", "garbage", "array", "null", "string"],
+    )
+    def test_unreadable_payloads_are_treated_as_stale(self, finished_task, content):
+        from repro.core.orchestrator import _load_finished_checkpoint
+
+        self._checkpoint_file(finished_task).write_text(content)
+        assert _load_finished_checkpoint(finished_task) is None
+
+    def test_done_payload_with_missing_fields_is_treated_as_stale(
+        self, finished_task
+    ):
+        from repro.core.orchestrator import _load_finished_checkpoint
+
+        path = self._checkpoint_file(finished_task)
+        payload = json.loads(path.read_text())
+        del payload["observations"]
+        path.write_text(json.dumps(payload))
+        assert _load_finished_checkpoint(finished_task) is None
+
+    def test_corrupted_checkpoint_recomputes_to_identical_result(self, tmp_path):
+        from repro.problems import ising_chain
+
+        problem = ising_chain(num_sites=3, transverse_field=1.0)
+        first = SearchOrchestrator(
+            problem, num_restarts=1, max_workers=1, seed=2
+        ).run(max_evaluations=30, checkpoint_dir=tmp_path)
+        for path in tmp_path.glob("restart_*.json"):
+            path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        redone = SearchOrchestrator(
+            problem, num_restarts=1, max_workers=1, seed=2
+        ).run(max_evaluations=30, checkpoint_dir=tmp_path)
+        assert not redone.traces[0].from_checkpoint
+        assert redone.best.energy == first.best.energy
+        assert redone.best.best_indices == first.best.best_indices

@@ -70,6 +70,43 @@ class TestRunSpecSerialization:
         with pytest.raises(ReproError, match="registry name"):
             spec.resolve_problem()
 
+    def test_spec_copies_caller_owned_option_dicts(self):
+        """Regression: RunSpec used to alias the caller's dicts, so mutating
+        the payload after construction silently changed the spec and its
+        options digest."""
+        problem_options = {"bond_length": 2.5}
+        search_options = {"warmup_fraction": 0.5, "seed_points": [[0, 1, 2, 3]]}
+        spec = RunSpec(
+            problem="H2",
+            problem_options=problem_options,
+            search_options=search_options,
+        )
+        digest = spec.options_digest()
+        problem_options["bond_length"] = 99.0
+        search_options["warmup_fraction"] = 0.9
+        search_options["local_refinement"] = False
+        search_options["seed_points"][0][0] = 3  # nested mutation too
+        assert spec.problem_options == {"bond_length": 2.5}
+        assert spec.search_options == {
+            "warmup_fraction": 0.5,
+            "seed_points": [[0, 1, 2, 3]],
+        }
+        assert spec.options_digest() == digest
+
+    def test_from_dict_payload_mutation_leaves_the_spec_unchanged(self):
+        payload = {
+            "problem": "xxz_chain",
+            "problem_options": {"num_sites": 4},
+            "search_options": {"warmup_fraction": 0.4},
+        }
+        spec = RunSpec.from_dict(payload)
+        reference_json = spec.to_json()
+        digest = spec.options_digest()
+        payload["problem_options"]["num_sites"] = 12
+        payload["search_options"]["warmup_fraction"] = 0.9
+        assert spec.to_json() == reference_json
+        assert spec.options_digest() == digest
+
 
 # --------------------------------------------------------------------------- #
 # options digest (shared with the checkpoint layer)
@@ -168,6 +205,45 @@ class TestRunFrontDoor:
         report = run(spec, problem=h2_problem)
         assert report.vqe is not None
         assert report.vqe.noisy
+
+    def test_vqe_stage_is_seeded_by_the_spec(self, h2_problem):
+        """Regression: VQERunner hard-coded SPSA(seed=0), so the VQE stage was
+        identical across RunSpec seeds and the spec-determines-trajectory
+        contract was broken."""
+        from repro.core import VQERunner
+
+        def vqe_history(seed):
+            spec = RunSpec(
+                problem="H2", max_evaluations=30, seed=seed, vqe_iterations=8
+            )
+            return run(spec, problem=h2_problem).vqe
+
+        first, second = vqe_history(11), vqe_history(11)
+        assert second.history == first.history  # same spec => bit-identical
+        other = vqe_history(12)
+        assert other.history != first.history  # seed reaches the SPSA stream
+        # The stage matches a hand-seeded VQERunner on the same initialization.
+        report = run(
+            RunSpec(problem="H2", max_evaluations=30, seed=11, vqe_iterations=8),
+            problem=h2_problem,
+        )
+        manual = VQERunner(
+            h2_problem, ansatz=report.best.ansatz, seed=11
+        ).run_from_cafqa(report.best, max_iterations=8)
+        assert manual.final_energy == report.vqe.final_energy
+        assert manual.history == report.vqe.history
+
+    def test_vqe_runner_default_seed_is_backward_compatible(self, h2_problem):
+        """VQERunner() without a seed still behaves like the historic
+        SPSA(seed=0) default."""
+        from repro.core import VQERunner
+        from repro.optim.spsa import SPSA
+
+        legacy = VQERunner(
+            h2_problem, optimizer=SPSA(seed=0)
+        ).run_from_reference(max_iterations=6)
+        default = VQERunner(h2_problem).run_from_reference(max_iterations=6)
+        assert default.history == legacy.history
 
     def test_pinned_8_seed_h2_energy_reproduces(self):
         """Acceptance pin: the PR-2/PR-3 best-of-8-seeds H2 search through
