@@ -37,11 +37,19 @@ from repro.exceptions import (
     ChemistryError,
     CircuitError,
     ConvergenceError,
+    DeterministicRestartError,
+    IncompleteRunError,
+    InjectedFaultError,
     NoiseModelError,
     OperatorError,
     OptimizationError,
     ReproError,
+    RestartFailureError,
+    RestartTimeoutError,
     SimulationError,
+    TransientRestartError,
+    WorkerCrashError,
+    is_transient_failure,
 )
 
 __all__ = [
@@ -54,6 +62,14 @@ __all__ = [
     "ConvergenceError",
     "OptimizationError",
     "NoiseModelError",
+    "RestartFailureError",
+    "TransientRestartError",
+    "DeterministicRestartError",
+    "WorkerCrashError",
+    "RestartTimeoutError",
+    "InjectedFaultError",
+    "IncompleteRunError",
+    "is_transient_failure",
     "run",
     "RunSpec",
     "RunReport",

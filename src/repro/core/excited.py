@@ -29,6 +29,7 @@ from repro.core.constraints import (
     DeflationConstraint,
     combine_constraints,
 )
+from repro.core.faults import FailurePolicy
 from repro.core.orchestrator import MultiSeedResult, SearchOrchestrator
 from repro.exceptions import OptimizationError
 from repro.problems.base import ProblemSpec, default_constraint_of, exact_spectrum_of
@@ -105,6 +106,7 @@ def find_lowest_states(
     cache_dir: Optional[os.PathLike] = None,
     checkpoint_dir: Optional[os.PathLike] = None,
     checkpoint_interval: int = 32,
+    failure_policy: Optional[FailurePolicy] = None,
     **search_options,
 ) -> ExcitedStatesResult:
     """Find the lowest ``num_states`` states of ``problem`` by deflation.
@@ -125,6 +127,12 @@ def find_lowest_states(
     ``deflation_weight`` must exceed the spectral range being climbed
     (``E_{k} - E_0``); re-finding an already-deflated state costs ``+w``, so
     too small a weight makes the ground state cheaper than the next level.
+
+    ``failure_policy`` governs every level's orchestrated search (retries,
+    per-restart timeout, partial results — see :class:`~repro.core.faults
+    .FailurePolicy`).  With ``on_incomplete="partial"`` a level whose
+    restarts partly failed still deflates with its best surviving state, so
+    a transient fault in one level does not restart the whole spectrum walk.
     """
     if num_states < 1:
         raise OptimizationError("find_lowest_states needs at least one state")
@@ -179,6 +187,7 @@ def find_lowest_states(
             ansatz=ansatz,
             cache_dir=cache_dir,
             checkpoint_interval=int(checkpoint_interval),
+            failure_policy=failure_policy,
             constraint=constraint,
             **level_options,
         )

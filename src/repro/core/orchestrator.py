@@ -22,8 +22,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
@@ -39,9 +42,21 @@ from repro.circuits.clifford_points import (
     validate_clifford_point,
 )
 from repro.core.constraints import overlap_penalties_of
+from repro.core.faults import (
+    FAULT_DIR_ENV,
+    FailurePolicy,
+    FaultInjectingObjective,
+    faults_for_restart,
+)
 from repro.core.objective import CliffordObjective
 from repro.core.search import CafqaResult, CafqaSearch
-from repro.exceptions import OptimizationError
+from repro.exceptions import (
+    IncompleteRunError,
+    OptimizationError,
+    RestartTimeoutError,
+    WorkerCrashError,
+    is_transient_failure,
+)
 from repro.operators.fingerprints import hamiltonian_fingerprint
 from repro.problems.base import ProblemSpec, reference_energy_of
 
@@ -58,6 +73,9 @@ __all__ = [
     "MultiSeedResult",
     "SeedTrace",
     "RestartTask",
+    "FailurePolicy",  # re-exported; lives in repro.core.faults
+    "AttemptFailure",
+    "RestartFailure",
     "EvaluationCache",
     "CacheShardWriter",
     "CachedObjective",
@@ -183,13 +201,16 @@ class EvaluationCache:
             for line in text.splitlines():
                 if not line.strip():
                     continue
+                # Conversion happens inside the try: a wrong-shaped but
+                # valid-JSON line (string point, non-numeric value) must be
+                # skipped like a truncated one, not crash every run sharing
+                # this cache directory.
                 try:
                     fingerprint, point, value = json.loads(line)
+                    key = (str(fingerprint), tuple(int(v) for v in point))
+                    self._values[key] = float(value)
                 except (ValueError, TypeError):
-                    continue  # truncated tail of an interrupted writer
-                self._values[(str(fingerprint), tuple(int(v) for v in point))] = float(
-                    value
-                )
+                    continue  # truncated or corrupted line of an interrupted writer
 
 
 class CacheShardWriter:
@@ -368,8 +389,56 @@ class RestartTask:
 
 
 @dataclass
+class AttemptFailure:
+    """One failed attempt of one restart: what went wrong and what it cost."""
+
+    attempt: int
+    error_type: str
+    message: str
+    transient: bool
+    elapsed_seconds: float = 0.0
+
+    def __repr__(self) -> str:
+        kind = "transient" if self.transient else "deterministic"
+        return (
+            f"AttemptFailure(attempt={self.attempt}, {self.error_type} "
+            f"[{kind}]: {self.message})"
+        )
+
+
+@dataclass
+class RestartFailure:
+    """A restart that never completed: its full per-attempt failure history."""
+
+    restart_index: int
+    seed: Optional[int]
+    attempts: int
+    failures: List[AttemptFailure] = field(default_factory=list)
+    wall_clock_lost_seconds: float = 0.0
+
+    @property
+    def last_error(self) -> Optional[AttemptFailure]:
+        return self.failures[-1] if self.failures else None
+
+    def __repr__(self) -> str:
+        last = self.last_error
+        detail = "" if last is None else f", last={last.error_type}: {last.message}"
+        return (
+            f"RestartFailure(restart={self.restart_index}, "
+            f"attempts={self.attempts}{detail})"
+        )
+
+
+@dataclass
 class SeedTrace:
-    """The picklable outcome of one restart (one BO search + refinement)."""
+    """The picklable outcome of one restart (one BO search + refinement).
+
+    ``attempts``/``failures``/``wall_clock_lost_seconds`` record this run's
+    scheduling history: how many times the restart was (re)submitted, what
+    each failed attempt died of, and the worker wall-clock those failed
+    attempts burned.  They describe execution, not trajectory — a retried
+    restart's observations are bit-identical to an uninterrupted one's.
+    """
 
     restart_index: int
     seed: Optional[int]
@@ -383,21 +452,59 @@ class SeedTrace:
     cache_hits: int = 0
     cache_misses: int = 0
     from_checkpoint: bool = False
+    attempts: int = 1
+    failures: List[AttemptFailure] = field(default_factory=list)
+    wall_clock_lost_seconds: float = 0.0
 
 
 @dataclass
 class MultiSeedResult:
-    """Merged outcome of all restarts of one orchestrated CAFQA search."""
+    """Merged outcome of all restarts of one orchestrated CAFQA search.
+
+    ``failures`` is non-empty only for *partial* results (failure policy
+    ``on_incomplete="partial"`` with some restarts dead after retries):
+    ``traces``/``best`` then cover the surviving restarts, and ``failures``
+    says which restarts are missing and why.
+    """
 
     problem_name: str
     hf_energy: float
     exact_energy: Optional[float]
     traces: List[SeedTrace]
     best: CafqaResult = field(repr=False)
+    failures: List[RestartFailure] = field(default_factory=list)
 
     @property
     def num_restarts(self) -> int:
         return len(self.traces)
+
+    @property
+    def is_partial(self) -> bool:
+        """Whether some restarts failed permanently (survivors-only result)."""
+        return bool(self.failures)
+
+    @property
+    def num_failed_restarts(self) -> int:
+        return len(self.failures)
+
+    @property
+    def failed_restart_indices(self) -> List[int]:
+        return [failure.restart_index for failure in self.failures]
+
+    @property
+    def total_attempts(self) -> int:
+        """Restart attempts scheduled, including retries and dead restarts."""
+        return sum(t.attempts for t in self.traces) + sum(
+            f.attempts for f in self.failures
+        )
+
+    @property
+    def wall_clock_lost_seconds(self) -> float:
+        """Worker wall-clock burned by failed attempts across all restarts."""
+        return float(
+            sum(t.wall_clock_lost_seconds for t in self.traces)
+            + sum(f.wall_clock_lost_seconds for f in self.failures)
+        )
 
     @property
     def energies(self) -> List[float]:
@@ -442,9 +549,12 @@ class MultiSeedResult:
         return abs(self.best.energy - self.exact_energy)
 
     def __repr__(self) -> str:
+        partial = (
+            f", partial ({self.num_failed_restarts} failed)" if self.failures else ""
+        )
         return (
             f"MultiSeedResult({self.problem_name!r}, {self.num_restarts} restarts, "
-            f"best={self.best.energy:.6f} Ha, mean={self.mean_energy:.6f} Ha)"
+            f"best={self.best.energy:.6f} Ha, mean={self.mean_energy:.6f} Ha{partial})"
         )
 
 
@@ -462,9 +572,30 @@ def _checkpoint_path(task: RestartTask) -> Path:
 
 
 def _write_json_atomic(path: Path, payload: dict) -> None:
+    """Write-temp / fsync / rename: the checkpoint is either old or complete.
+
+    The temp file is fsynced *before* the rename — without it, a power loss
+    (or kill -9 racing the page cache) can persist the rename but not the
+    data, leaving an empty-but-renamed checkpoint.  The directory is fsynced
+    after, so the rename itself is durable too.  (Readers still tolerate
+    zero-byte/truncated checkpoints as stale — defence in depth.)
+    """
     temporary = path.with_suffix(f".tmp.{os.getpid()}")
-    temporary.write_text(json.dumps(payload) + "\n")
+    with open(temporary, "w") as handle:
+        handle.write(json.dumps(payload) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(temporary, path)
+    try:
+        directory_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory opening; rename is still atomic
+    try:
+        os.fsync(directory_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(directory_fd)
 
 
 def _observation_to_row(observation: Observation) -> list:
@@ -559,7 +690,13 @@ def _checkpoint_payload(task: RestartTask, status: str, **extra) -> dict:
 
 
 def run_restart(task: RestartTask) -> SeedTrace:
-    """Run one restart to completion; the ProcessPoolExecutor entry point."""
+    """Run one restart to completion; the ProcessPoolExecutor entry point.
+
+    When ``REPRO_FAULT_SPEC`` prescribes faults for this restart index, the
+    objective is wrapped in a :class:`~repro.core.faults
+    .FaultInjectingObjective` that crashes, hangs, or corrupts this worker at
+    the prescribed evaluation count — the deterministic chaos-testing hook.
+    """
     finished = _load_finished_checkpoint(task)
     if finished is not None:
         return finished
@@ -567,9 +704,26 @@ def run_restart(task: RestartTask) -> SeedTrace:
     start = perf_counter()
     cache = EvaluationCache(task.store_dir) if task.store_dir is not None else None
     objective = CliffordObjective(task.problem, task.ansatz, **task.objective_options)
+    shard_path = None
     if cache is not None:
         writer = cache.shard_writer(f"r{task.restart_index:03d}")
+        shard_path = writer.path
         objective = CachedObjective(objective, cache, writer)
+    faults = faults_for_restart(task.restart_index)
+    if faults:
+        marker_dir = (
+            os.environ.get(FAULT_DIR_ENV) or task.checkpoint_dir or task.store_dir
+        )
+        objective = FaultInjectingObjective(
+            objective,
+            faults,
+            restart_index=task.restart_index,
+            marker_dir=marker_dir,
+            checkpoint_path=(
+                _checkpoint_path(task) if task.checkpoint_dir is not None else None
+            ),
+            shard_path=shard_path,
+        )
     search = CafqaSearch(
         task.problem,
         ansatz=task.ansatz,
@@ -666,6 +820,17 @@ class SearchOrchestrator:
     ``max_workers=1`` (or a single restart) runs inline in this process,
     which keeps single-seed pipeline calls free of process-pool overhead and
     bit-identical to a direct :class:`CafqaSearch` run.
+
+    Scheduling is fault-tolerant under the run's
+    :class:`~repro.core.faults.FailurePolicy`: every restart runs in its own
+    future with exception isolation, transiently-failed restarts are retried
+    (resuming from their evaluation shards and checkpoints, so a retried
+    restart is bit-identical to an uninterrupted one), deterministic failures
+    fail fast, a broken process pool is rebuilt and its in-flight restarts
+    resubmitted, and a restart past ``restart_timeout`` is killed and counted
+    as a timeout.  Once retries are exhausted the policy's ``on_incomplete``
+    decides between raising :class:`~repro.exceptions.IncompleteRunError`
+    and returning the surviving restarts as a partial result.
     """
 
     def __init__(
@@ -678,12 +843,14 @@ class SearchOrchestrator:
         ansatz_reps: int = 1,
         cache_dir: Optional[os.PathLike] = None,
         checkpoint_interval: int = 32,
+        failure_policy: Optional[FailurePolicy] = None,
         **search_options,
     ):
         if num_restarts < 1:
             raise OptimizationError("the orchestrator needs at least one restart")
         if max_workers is not None and max_workers < 1:
             raise OptimizationError("max_workers must be at least one when given")
+        self._failure_policy = FailurePolicy.coerce(failure_policy)
         self._problem = problem
         self._num_restarts = int(num_restarts)
         self._max_workers = max_workers
@@ -723,6 +890,10 @@ class SearchOrchestrator:
     def objective_fingerprint(self) -> str:
         return self._objective_fp
 
+    @property
+    def failure_policy(self) -> FailurePolicy:
+        return self._failure_policy
+
     def restart_seeds(self) -> List[Optional[int]]:
         return [restart_seed(self._seed, index) for index in range(self._num_restarts)]
 
@@ -761,16 +932,251 @@ class SearchOrchestrator:
             workers = min(self._num_restarts, os.cpu_count() or 1)
         workers = min(workers, self._num_restarts)
 
+        policy = self._failure_policy
         if workers <= 1:
-            traces = [run_restart(task) for task in tasks]
+            traces, failures = self._execute_inline(tasks, policy)
         else:
-            with ProcessPoolExecutor(max_workers=workers) as executor:
-                traces = list(executor.map(run_restart, tasks))
+            traces, failures = self._execute_pool(tasks, workers, policy)
 
-        return self._merge(traces)
+        if failures and (policy.on_incomplete == "raise" or not traces):
+            partial = self._merge(traces, failures) if traces else None
+            detail = "; ".join(repr(failure) for failure in failures)
+            raise IncompleteRunError(
+                f"{len(failures)} of {self._num_restarts} restarts failed after "
+                f"{policy.max_attempts} attempt(s) each: {detail}",
+                failures=failures,
+                result=partial,
+            )
+        return self._merge(traces, failures)
 
     # ------------------------------------------------------------------ #
-    def _merge(self, traces: List[SeedTrace]) -> MultiSeedResult:
+    # fault-tolerant scheduling
+    # ------------------------------------------------------------------ #
+    def _execute_inline(
+        self, tasks: List[RestartTask], policy: FailurePolicy
+    ) -> Tuple[List[SeedTrace], List[RestartFailure]]:
+        """Run restarts in this process with retry/fail-fast semantics.
+
+        The per-restart timeout is not enforced here — a hung evaluation
+        cannot be preempted from inside its own process; use worker
+        processes (``max_workers > 1``) for hang protection.
+        """
+        traces: List[SeedTrace] = []
+        failures: List[RestartFailure] = []
+        for task in tasks:
+            attempts = 0
+            history: List[AttemptFailure] = []
+            lost = 0.0
+            while True:
+                attempts += 1
+                started = time.monotonic()
+                try:
+                    trace = run_restart(task)
+                except Exception as error:  # noqa: BLE001 — isolation boundary
+                    elapsed = time.monotonic() - started
+                    lost += elapsed
+                    record = AttemptFailure(
+                        attempt=attempts,
+                        error_type=type(error).__name__,
+                        message=str(error)[:500],
+                        transient=is_transient_failure(error),
+                        elapsed_seconds=elapsed,
+                    )
+                    history.append(record)
+                    if record.transient and attempts < policy.max_attempts:
+                        delay = policy.backoff_delay(
+                            self._seed, task.restart_index, attempts
+                        )
+                        if delay > 0:
+                            time.sleep(delay)
+                        continue
+                    failures.append(
+                        RestartFailure(
+                            restart_index=task.restart_index,
+                            seed=task.seed,
+                            attempts=attempts,
+                            failures=history,
+                            wall_clock_lost_seconds=lost,
+                        )
+                    )
+                    break
+                trace.attempts = attempts
+                trace.failures = history
+                trace.wall_clock_lost_seconds = lost
+                traces.append(trace)
+                break
+        return traces, failures
+
+    def _execute_pool(
+        self, tasks: List[RestartTask], workers: int, policy: FailurePolicy
+    ) -> Tuple[List[SeedTrace], List[RestartFailure]]:
+        """Run restarts across a process pool with exception isolation.
+
+        Each restart is a separate future; at most ``workers`` are in flight
+        at once so the per-restart deadline measures execution, not queueing.
+        A timed-out restart is killed by terminating the pool's workers
+        (restarts cannot be cancelled individually once running); in-flight
+        siblings that die in that teardown — or in a ``BrokenProcessPool``
+        we inflicted — are resubmitted *without* being charged an attempt.
+        A spontaneous pool break (a worker crashed on its own) cannot be
+        attributed to one restart, so every in-flight restart is charged; a
+        crashing restart can therefore burn siblings' retry budget, but the
+        attempt bound keeps the scheduler loop finite, and retries resume
+        from checkpoints so the repeated work is nearly free.
+        """
+        state: Dict[int, dict] = {
+            task.restart_index: {
+                "task": task,
+                "attempts": 0,
+                "history": [],
+                "lost": 0.0,
+            }
+            for task in tasks
+        }
+        completed: Dict[int, SeedTrace] = {}
+        failed: Dict[int, RestartFailure] = {}
+        ready: List[Tuple[float, int]] = [(0.0, task.restart_index) for task in tasks]
+        running: Dict[object, Tuple[int, float, float]] = {}
+        timed_out: set = set()
+        killed_for_timeout = False
+        needs_rebuild = False
+        executor = ProcessPoolExecutor(max_workers=workers)
+        try:
+            while ready or running:
+                now = time.monotonic()
+                if needs_rebuild and not running:
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = ProcessPoolExecutor(max_workers=workers)
+                    needs_rebuild = False
+                    killed_for_timeout = False
+                if not needs_rebuild:
+                    ready.sort()
+                    while ready and ready[0][0] <= now and len(running) < workers:
+                        _, index = ready.pop(0)
+                        entry = state[index]
+                        entry["attempts"] += 1
+                        try:
+                            future = executor.submit(run_restart, entry["task"])
+                        except (BrokenExecutor, RuntimeError):
+                            entry["attempts"] -= 1
+                            needs_rebuild = True
+                            ready.append((now, index))
+                            break
+                        deadline = (
+                            now + float(policy.restart_timeout)
+                            if policy.restart_timeout is not None
+                            else math.inf
+                        )
+                        running[future] = (index, now, deadline)
+                if not running:
+                    if ready:
+                        ready.sort()
+                        pause = ready[0][0] - time.monotonic()
+                        if pause > 0:
+                            time.sleep(min(pause, 0.05))
+                    continue
+
+                next_deadline = min(deadline for (_, _, deadline) in running.values())
+                next_ready = math.inf
+                if ready and len(running) < workers and not needs_rebuild:
+                    next_ready = min(ready_at for ready_at, _ in ready)
+                wake_at = min(next_deadline, next_ready)
+                timeout = (
+                    None
+                    if math.isinf(wake_at)
+                    else max(0.0, wake_at - time.monotonic())
+                )
+                done, _ = futures_wait(
+                    set(running), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                now = time.monotonic()
+                if not done:
+                    overdue = [
+                        future
+                        for future, (_, _, deadline) in running.items()
+                        if deadline <= now
+                    ]
+                    if overdue:
+                        # A hung worker cannot be cancelled — kill the pool.
+                        # Every running future then resolves as broken; the
+                        # overdue ones are remapped to timeouts below, the
+                        # rest are collateral and resubmitted uncharged.
+                        timed_out.update(overdue)
+                        killed_for_timeout = True
+                        needs_rebuild = True
+                        _terminate_pool_workers(executor)
+                    continue
+
+                for future in done:
+                    index, started, _ = running.pop(future)
+                    entry = state[index]
+                    error = future.exception()
+                    elapsed = now - started
+                    if error is None:
+                        trace = future.result()
+                        trace.attempts = entry["attempts"]
+                        trace.failures = list(entry["history"])
+                        trace.wall_clock_lost_seconds = entry["lost"]
+                        completed[index] = trace
+                        continue
+                    if isinstance(error, BrokenExecutor):
+                        needs_rebuild = True
+                    if future in timed_out:
+                        timed_out.discard(future)
+                        error = RestartTimeoutError(
+                            f"restart {index} exceeded the per-restart timeout of "
+                            f"{policy.restart_timeout}s (attempt {entry['attempts']})"
+                        )
+                    elif isinstance(error, BrokenExecutor):
+                        if killed_for_timeout:
+                            # Collateral damage of our own pool teardown:
+                            # resubmit without charging the retry budget.
+                            entry["attempts"] -= 1
+                            entry["lost"] += elapsed
+                            ready.append((now, index))
+                            continue
+                        error = WorkerCrashError(
+                            f"worker process running restart {index} died "
+                            f"(attempt {entry['attempts']}): {error}"
+                        )
+                    record = AttemptFailure(
+                        attempt=entry["attempts"],
+                        error_type=type(error).__name__,
+                        message=str(error)[:500],
+                        transient=is_transient_failure(error),
+                        elapsed_seconds=elapsed,
+                    )
+                    entry["history"].append(record)
+                    entry["lost"] += elapsed
+                    if record.transient and entry["attempts"] < policy.max_attempts:
+                        delay = policy.backoff_delay(self._seed, index, entry["attempts"])
+                        ready.append((now + delay, index))
+                    else:
+                        failed[index] = RestartFailure(
+                            restart_index=index,
+                            seed=entry["task"].seed,
+                            attempts=entry["attempts"],
+                            failures=list(entry["history"]),
+                            wall_clock_lost_seconds=entry["lost"],
+                        )
+                if not running:
+                    killed_for_timeout = False
+        finally:
+            if running or needs_rebuild:
+                # Abnormal exit (or a pool we already broke): kill workers
+                # first so shutdown cannot block on a hung evaluation.
+                _terminate_pool_workers(executor)
+            executor.shutdown(wait=True, cancel_futures=True)
+        traces = [completed[index] for index in sorted(completed)]
+        failures = [failed[index] for index in sorted(failed)]
+        return traces, failures
+
+    # ------------------------------------------------------------------ #
+    def _merge(
+        self,
+        traces: List[SeedTrace],
+        failures: Optional[List[RestartFailure]] = None,
+    ) -> MultiSeedResult:
         best_trace = min(
             traces, key=lambda t: (t.constrained_energy, t.energy, t.restart_index)
         )
@@ -800,4 +1206,22 @@ class SearchOrchestrator:
             exact_energy=self._problem.exact_energy,
             traces=list(traces),
             best=best,
+            failures=list(failures) if failures else [],
         )
+
+
+def _terminate_pool_workers(executor: ProcessPoolExecutor) -> None:
+    """Forcibly kill a pool's worker processes (for timeouts and teardown).
+
+    ``shutdown(cancel_futures=True)`` cannot stop a worker that is already
+    hung inside an evaluation, and leaving it alive would block interpreter
+    exit — so the processes are terminated directly.  ``_processes`` is a
+    private attribute, stable across supported CPython versions; if it ever
+    disappears the degraded behavior is "no hang protection", not a crash.
+    """
+    processes = getattr(executor, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except (OSError, AttributeError):
+            pass

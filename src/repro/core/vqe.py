@@ -10,13 +10,14 @@ simulator with a fake-device noise model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from time import perf_counter
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.circuits.ansatz import EfficientSU2Ansatz
 from repro.circuits.clifford_points import hartree_fock_clifford_point, indices_to_angles
-from repro.exceptions import OptimizationError
+from repro.exceptions import OptimizationError, RestartTimeoutError
 from repro.noise.models import NoiseModel
 from repro.operators.pauli_sum import PauliSum
 from repro.optim.base import ContinuousOptimizer, OptimizationTrace
@@ -28,7 +29,12 @@ from repro.statevector.simulator import StatevectorSimulator
 
 @dataclass
 class VQEResult:
-    """Result of one VQE tuning run."""
+    """Result of one VQE tuning run.
+
+    ``timed_out`` marks a run the wall-clock deadline cut short: the result
+    is then the graceful partial outcome — best parameters and energy over
+    the evaluations that did complete (never worse than the initial point).
+    """
 
     problem_name: str
     initial_label: str
@@ -37,6 +43,7 @@ class VQEResult:
     best_parameters: np.ndarray
     trace: OptimizationTrace = field(repr=False)
     noisy: bool = False
+    timed_out: bool = False
 
     @property
     def history(self) -> List[float]:
@@ -116,16 +123,41 @@ class VQERunner:
         initial_parameters: Sequence[float],
         max_iterations: int = 200,
         initial_label: str = "custom",
+        timeout_seconds: Optional[float] = None,
     ) -> VQEResult:
-        """Tune the ansatz starting from ``initial_parameters``."""
+        """Tune the ansatz starting from ``initial_parameters``.
+
+        ``timeout_seconds`` bounds the tuning wall-clock: past the deadline
+        the optimizer is stopped and the best evaluation seen so far is
+        returned as a graceful partial result (``timed_out=True``) rather
+        than raising — VQE iterations only ever refine an already-valid
+        CAFQA initialization, so a truncated tuning run is still a result.
+        """
         initial_parameters = np.asarray(list(initial_parameters), dtype=float)
         if len(initial_parameters) != self._ansatz.num_parameters:
             raise OptimizationError(
                 f"expected {self._ansatz.num_parameters} initial angles, "
                 f"got {len(initial_parameters)}"
             )
+        if timeout_seconds is not None and float(timeout_seconds) <= 0:
+            raise OptimizationError("timeout_seconds must be positive when given")
         initial_energy = self.energy(initial_parameters)
-        trace = self._optimizer.minimize(self.energy, initial_parameters, max_iterations)
+        timed_out = False
+        if timeout_seconds is None:
+            trace = self._optimizer.minimize(
+                self.energy, initial_parameters, max_iterations
+            )
+        else:
+            recorder = _DeadlineObjective(
+                self.energy, deadline=perf_counter() + float(timeout_seconds)
+            )
+            try:
+                trace = self._optimizer.minimize(
+                    recorder, initial_parameters, max_iterations
+                )
+            except RestartTimeoutError:
+                timed_out = True
+                trace = recorder.partial_trace(initial_parameters, initial_energy)
         final_energy = min(float(trace.best_value), initial_energy)
         best_parameters = (
             trace.best_parameters if trace.best_value <= initial_energy else initial_parameters
@@ -138,28 +170,84 @@ class VQERunner:
             best_parameters=np.asarray(best_parameters, dtype=float),
             trace=trace,
             noisy=self._noise_model is not None,
+            timed_out=timed_out,
         )
 
-    def run_from_reference(self, max_iterations: int = 200) -> VQEResult:
+    def run_from_reference(
+        self, max_iterations: int = 200, timeout_seconds: Optional[float] = None
+    ) -> VQEResult:
         """Tune starting from the classical reference initialization."""
         return self.run(
             self.reference_parameters(),
             max_iterations=max_iterations,
             initial_label="reference",
+            timeout_seconds=timeout_seconds,
         )
 
-    def run_from_hartree_fock(self, max_iterations: int = 200) -> VQEResult:
+    def run_from_hartree_fock(
+        self, max_iterations: int = 200, timeout_seconds: Optional[float] = None
+    ) -> VQEResult:
         """Tune starting from the Hartree–Fock initialization (the paper's baseline)."""
         return self.run(
             self.reference_parameters(),
             max_iterations=max_iterations,
             initial_label="hartree_fock",
+            timeout_seconds=timeout_seconds,
         )
 
-    def run_from_cafqa(self, cafqa_result, max_iterations: int = 200) -> VQEResult:
+    def run_from_cafqa(
+        self,
+        cafqa_result,
+        max_iterations: int = 200,
+        timeout_seconds: Optional[float] = None,
+    ) -> VQEResult:
         """Tune starting from a CAFQA search result."""
         return self.run(
             list(cafqa_result.best_angles),
             max_iterations=max_iterations,
             initial_label="cafqa",
+            timeout_seconds=timeout_seconds,
+        )
+
+
+class _DeadlineObjective:
+    """Wraps an energy function with a wall-clock deadline and a recorder.
+
+    Raises :class:`~repro.exceptions.RestartTimeoutError` on the first call
+    past the deadline; every completed call is recorded so the caller can
+    reconstruct a partial :class:`~repro.optim.base.OptimizationTrace` —
+    the optimizer's own trace is lost when it is interrupted mid-iteration.
+    """
+
+    def __init__(self, energy: Callable[[np.ndarray], float], deadline: float):
+        self._energy = energy
+        self._deadline = float(deadline)
+        self._history: List[float] = []
+        self._best_value = np.inf
+        self._best_parameters: Optional[np.ndarray] = None
+
+    def __call__(self, parameters: np.ndarray) -> float:
+        if perf_counter() >= self._deadline:
+            raise RestartTimeoutError("VQE tuning exceeded its wall-clock timeout")
+        value = float(self._energy(parameters))
+        self._history.append(value)
+        if value < self._best_value:
+            self._best_value = value
+            self._best_parameters = np.asarray(parameters, dtype=float).copy()
+        return value
+
+    def partial_trace(
+        self, fallback_parameters: np.ndarray, fallback_value: float
+    ) -> OptimizationTrace:
+        if self._best_parameters is None:
+            best_parameters = np.asarray(fallback_parameters, dtype=float).copy()
+            best_value = float(fallback_value)
+        else:
+            best_parameters, best_value = self._best_parameters, self._best_value
+        return OptimizationTrace(
+            best_parameters=best_parameters,
+            best_value=float(best_value),
+            history=list(self._history),
+            num_evaluations=len(self._history),
+            converged=False,
         )

@@ -50,6 +50,16 @@ class RunSpec:
     :func:`repro.core.excited.find_lowest_states`), each level a full
     multi-seed orchestrated search sharing this spec's cache/checkpoint
     directories.
+
+    ``failure_policy`` configures the orchestrator's fault tolerance —
+    retries for transiently-failed restarts, a per-restart wall-clock
+    timeout, deterministic seeded backoff, and whether exhausted retries
+    raise or return a partial result (see :class:`~repro.core.faults
+    .FailurePolicy`; a plain dict of its fields keeps the spec
+    JSON-round-trippable).  ``vqe_timeout_seconds`` bounds the optional VQE
+    stage's wall-clock; past it the stage returns its best-so-far partial
+    result.  Neither knob affects the search trajectory, so they are not
+    part of :meth:`options_digest`.
     """
 
     problem: Union[str, ProblemSpec]
@@ -66,6 +76,8 @@ class RunSpec:
     vqe_iterations: int = 0
     num_states: int = 1
     deflation_weight: float = DEFAULT_DEFLATION_WEIGHT
+    failure_policy: Optional[Union[Dict[str, object], "FailurePolicy"]] = None  # noqa: F821
+    vqe_timeout_seconds: Optional[float] = None
     search_options: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self):
@@ -121,6 +133,12 @@ class RunSpec:
                 "problem_options only apply when the problem is a registry name"
             )
         return self.problem
+
+    def resolve_failure_policy(self) -> "FailurePolicy":  # noqa: F821
+        """The run's :class:`~repro.core.faults.FailurePolicy` (default if unset)."""
+        from repro.core.faults import FailurePolicy
+
+        return FailurePolicy.coerce(self.failure_policy)
 
     def split_search_options(self):
         """(loop options, orchestrator-level extras) from ``search_options``.
@@ -221,6 +239,11 @@ class RunReport:
         return list(self.result.best.best_indices)
 
     @property
+    def is_partial(self) -> bool:
+        """Whether some restarts failed permanently (survivors-only result)."""
+        return self.result.is_partial
+
+    @property
     def state_energies(self) -> Optional[List[float]]:
         """Per-level plain energies of a spectrum run (``None`` otherwise)."""
         if self.states is None:
@@ -249,6 +272,26 @@ class RunReport:
             "best_indices": self.best_indices,
             "options_digest": self.spec.options_digest(),
         }
+        # Failure/retry accounting: which restarts died, how many attempts
+        # the run scheduled in total, and the worker wall-clock the failed
+        # attempts burned.  A fault-free run reports 0 / num_seeds / 0.0.
+        payload["num_failed_restarts"] = self.result.num_failed_restarts
+        payload["total_attempts"] = self.result.total_attempts
+        payload["wall_clock_lost_seconds"] = self.result.wall_clock_lost_seconds
+        if self.result.is_partial:
+            payload["failed_restarts"] = [
+                {
+                    "restart_index": failure.restart_index,
+                    "attempts": failure.attempts,
+                    "last_error": (
+                        None
+                        if failure.last_error is None
+                        else f"{failure.last_error.error_type}: "
+                        f"{failure.last_error.message}"
+                    ),
+                }
+                for failure in self.result.failures
+            ]
         if self.states is not None:
             payload["num_states"] = self.states.num_states
             payload["deflation_weight"] = self.states.deflation_weight
@@ -294,6 +337,7 @@ def run(spec: RunSpec, problem: Optional[ProblemSpec] = None) -> RunReport:
         raise ReproError("num_states must be at least one")
     if problem is None:
         problem = spec.resolve_problem()
+    failure_policy = spec.resolve_failure_policy()
     search_options, extras = spec.split_search_options()
     states = None
     if spec.num_states > 1:
@@ -310,6 +354,7 @@ def run(spec: RunSpec, problem: Optional[ProblemSpec] = None) -> RunReport:
             cache_dir=spec.cache_dir,
             checkpoint_dir=spec.checkpoint_dir,
             checkpoint_interval=int(spec.checkpoint_interval),
+            failure_policy=failure_policy,
             **extras,
             **search_options,
         )
@@ -322,6 +367,7 @@ def run(spec: RunSpec, problem: Optional[ProblemSpec] = None) -> RunReport:
             seed=spec.seed,
             cache_dir=spec.cache_dir,
             checkpoint_interval=int(spec.checkpoint_interval),
+            failure_policy=failure_policy,
             **extras,
             **search_options,
         )
@@ -345,7 +391,9 @@ def run(spec: RunSpec, problem: Optional[ProblemSpec] = None) -> RunReport:
             seed=spec.seed,
         )
         vqe = runner.run_from_cafqa(
-            result.best, max_iterations=int(spec.vqe_iterations)
+            result.best,
+            max_iterations=int(spec.vqe_iterations),
+            timeout_seconds=spec.vqe_timeout_seconds,
         )
 
     return RunReport(spec=spec, problem=problem, result=result, vqe=vqe, states=states)

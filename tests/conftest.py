@@ -11,6 +11,14 @@ import pytest
 from repro.chemistry import make_problem
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection tests that crash/hang worker processes; "
+        'excluded from the fast tier-1 run via -m "not chaos"',
+    )
+
+
 @pytest.fixture(scope="session")
 def h2_problem():
     """H2 at equilibrium (2 qubits, parity mapping, two-qubit reduction)."""
