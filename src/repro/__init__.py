@@ -73,10 +73,14 @@ __all__ = [
     "run",
     "RunSpec",
     "RunReport",
+    "run_sweep",
+    "SweepSpec",
+    "SweepReport",
     "problems",
 ]
 
 _LAZY_RUNSPEC_EXPORTS = frozenset({"run", "RunSpec", "RunReport"})
+_LAZY_SWEEP_EXPORTS = frozenset({"run_sweep", "SweepSpec"})
 
 
 def __getattr__(name):
@@ -86,6 +90,14 @@ def __getattr__(name):
         from repro import runspec
 
         return getattr(runspec, name)
+    if name in _LAZY_SWEEP_EXPORTS:
+        from repro import sweepspec
+
+        return getattr(sweepspec, name)
+    if name == "SweepReport":
+        from repro.core.campaign import SweepReport
+
+        return SweepReport
     if name == "problems":
         import repro.problems as problems
 
@@ -94,4 +106,9 @@ def __getattr__(name):
 
 
 def __dir__():
-    return sorted(set(globals()) | _LAZY_RUNSPEC_EXPORTS | {"problems"})
+    return sorted(
+        set(globals())
+        | _LAZY_RUNSPEC_EXPORTS
+        | _LAZY_SWEEP_EXPORTS
+        | {"SweepReport", "problems"}
+    )

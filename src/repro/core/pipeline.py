@@ -23,13 +23,18 @@ from repro.exceptions import ReproError
 
 @dataclass
 class MoleculeEvaluation:
-    """HF / CAFQA / exact comparison for one molecule at one bond length."""
+    """HF / CAFQA / exact comparison for one molecule at one bond length.
+
+    ``problem`` / ``cafqa`` / ``multi_seed`` are ``None`` when the evaluation
+    was replayed from a campaign memo record (a digest-level cache hit keeps
+    the summary numbers without re-materializing the search objects).
+    """
 
     molecule: str
     bond_length: float
-    problem: MolecularProblem = field(repr=False)
-    cafqa: CafqaResult = field(repr=False)
     summary: AccuracySummary
+    problem: Optional[MolecularProblem] = field(default=None, repr=False)
+    cafqa: Optional[CafqaResult] = field(default=None, repr=False)
     multi_seed: Optional[MultiSeedResult] = field(default=None, repr=False)
 
     @property
@@ -131,32 +136,91 @@ def dissociation_curve(
     num_seeds: int = 1,
     max_workers: Optional[int] = None,
     cache_dir: Optional[os.PathLike] = None,
+    checkpoint_dir: Optional[os.PathLike] = None,
     **options,
 ) -> List[MoleculeEvaluation]:
     """Sweep bond lengths and evaluate HF / CAFQA / exact at each (a paper "dissociation curve").
 
-    With ``num_seeds > 1`` every bond length runs a best-of-N-restarts search
-    through the orchestrator; a shared ``cache_dir`` lets repeated sweeps
-    reuse every stabilizer evaluation from earlier runs.
+    A thin consumer of the campaign engine: the bond lengths become one
+    :class:`repro.SweepSpec` axis and execute through
+    :func:`repro.run_sweep`, so every point runs a best-of-``num_seeds``
+    orchestrated search, a shared ``cache_dir`` dedupes stabilizer
+    evaluations across points and repeated sweeps, and a ``checkpoint_dir``
+    additionally memoizes whole completed points (a resubmitted sweep
+    replays them as digest-level cache hits).  Seeds follow the historic
+    ``seed + index`` convention, so migrated sweeps are bit-identical.
     """
-    if not bond_lengths:
+    if len(bond_lengths) == 0:
         raise ReproError("at least one bond length is required")
+    from repro.runspec import RunSpec
+    from repro.sweepspec import SweepSpec, run_sweep
+
+    particle_sector = options.pop("particle_sector", None)
+    constraint = options.pop("constraint", None)
+    spin_z_target = options.pop("spin_z_target", None)
+    base = RunSpec(
+        problem=molecule,
+        problem_options={
+            "bond_length": float(bond_lengths[0]),
+            "compute_exact": compute_exact,
+            "particle_sector": particle_sector,
+        },
+        max_evaluations=max_evaluations,
+        num_seeds=num_seeds,
+        seed=seed,
+        max_workers=max_workers,
+        search_options={
+            "constraint": constraint,
+            "spin_z_target": spin_z_target,
+            **options,
+        },
+    )
+    sweep = SweepSpec(
+        base=base,
+        axes={"problem_options.bond_length": [float(b) for b in bond_lengths]},
+        cache_dir=os.fspath(cache_dir) if cache_dir is not None else None,
+        checkpoint_dir=os.fspath(checkpoint_dir) if checkpoint_dir is not None else None,
+        on_failure="raise",
+        name=f"dissociation:{molecule}",
+    )
+    report = run_sweep(sweep)
+
     evaluations = []
-    for index, bond_length in enumerate(bond_lengths):
-        run_seed = None if seed is None else seed + index
-        evaluations.append(
-            evaluate_molecule(
-                molecule,
-                bond_length=float(bond_length),
-                max_evaluations=max_evaluations,
-                seed=run_seed,
-                compute_exact=compute_exact,
-                num_seeds=num_seeds,
-                max_workers=max_workers,
-                cache_dir=cache_dir,
-                **options,
+    for row in report.runs:
+        length = float(row.coords["problem_options.bond_length"])
+        if row.report is not None:
+            problem = row.report.problem
+            multi = row.report.result
+            cafqa = multi.best
+            summary = AccuracySummary(
+                molecule=molecule,
+                bond_length=length,
+                hf_energy=problem.hf_energy,
+                cafqa_energy=cafqa.energy,
+                exact_energy=problem.exact_energy,
             )
-        )
+            evaluations.append(
+                MoleculeEvaluation(
+                    molecule=molecule,
+                    bond_length=length,
+                    summary=summary,
+                    problem=problem,
+                    cafqa=cafqa,
+                    multi_seed=multi,
+                )
+            )
+        else:
+            # Memoized point: rebuild the summary from the recorded numbers.
+            summary = AccuracySummary(
+                molecule=molecule,
+                bond_length=length,
+                hf_energy=float(row.summary["reference_energy"]),
+                cafqa_energy=float(row.summary["energy"]),
+                exact_energy=row.summary.get("exact_energy"),
+            )
+            evaluations.append(
+                MoleculeEvaluation(molecule=molecule, bond_length=length, summary=summary)
+            )
     return evaluations
 
 

@@ -4,6 +4,7 @@ from repro.experiments.config import FULL, QUICK, ExperimentScale, get_scale, sp
 from repro.experiments.dissociation import (
     DissociationCurveResult,
     DissociationPoint,
+    curve_sweepspec,
     run_dissociation_curve,
     run_fig08_h2,
     run_fig09_lih,
@@ -28,8 +29,13 @@ from repro.experiments.fig15_search_iterations import (
     SearchIterationsResult,
     run_search_iterations,
 )
-from repro.experiments.fig16_clifford_t import CliffordTCurveResult, run_clifford_t_curve
-from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.fig16_clifford_t import (
+    CliffordTCurveResult,
+    CliffordTSweepResult,
+    run_clifford_t_curve,
+    run_clifford_t_sweep,
+)
+from repro.experiments.table1 import Table1Result, run_table1, table1_sweepspec
 
 __all__ = [
     "ExperimentScale",
@@ -38,6 +44,7 @@ __all__ = [
     "get_scale",
     "spread_bond_lengths",
     "run_table1",
+    "table1_sweepspec",
     "Table1Result",
     "run_microbenchmark",
     "MicrobenchmarkResult",
@@ -48,6 +55,7 @@ __all__ = [
     "run_search_trace",
     "SearchTraceResult",
     "run_dissociation_curve",
+    "curve_sweepspec",
     "run_fig08_h2",
     "run_fig09_lih",
     "run_fig10_h2o",
@@ -64,4 +72,6 @@ __all__ = [
     "SearchIterationsResult",
     "run_clifford_t_curve",
     "CliffordTCurveResult",
+    "run_clifford_t_sweep",
+    "CliffordTSweepResult",
 ]

@@ -4,18 +4,28 @@ One driver covers the four detailed molecules (H2, LiH, H2O, H6); per-figure
 wrappers add the figure-specific extras: the H2+ cation series (Fig. 8), the
 singlet/triplet spin sectors for H2O (Fig. 10), and the spin-sector-optimized
 "opt." series for H6 (Fig. 11).
+
+Every series is a declarative sweep through the campaign engine
+(:class:`repro.SweepSpec` + :func:`repro.run_sweep`): the base curve and the
+extra series share one evaluation cache and one memo directory, so the
+constrained re-runs of the same Hamiltonians reuse stabilizer evaluations
+instead of re-paying them, and a re-run figure replays finished points as
+digest-level cache hits.  ``num_seeds`` / ``max_workers`` are forwarded to
+*every* series (historically the extra series silently dropped them).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.chemistry.molecules import get_preset, make_problem
+from repro.core.campaign import SweepReport
 from repro.core.constraints import ParticleConstraint
 from repro.core.metrics import AccuracySummary
-from repro.core.pipeline import MoleculeEvaluation, evaluate_molecule
 from repro.experiments.config import ExperimentScale, QUICK, spread_bond_lengths
+from repro.runspec import RunSpec
+from repro.sweepspec import SweepSpec, run_sweep
 
 
 @dataclass
@@ -75,6 +85,56 @@ def _default_bond_lengths(molecule: str, scale: ExperimentScale) -> Sequence[flo
     return spread_bond_lengths(low, high, scale.bond_lengths_per_curve)
 
 
+def curve_sweepspec(
+    molecule: str,
+    bond_lengths: Sequence[float],
+    max_evaluations: int,
+    seed: int = 0,
+    ansatz_reps: int = 1,
+    num_seeds: int = 1,
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    compute_exact: bool = True,
+    particle_sector: Optional[tuple] = None,
+    constraint: Optional[ParticleConstraint] = None,
+    name: Optional[str] = None,
+) -> SweepSpec:
+    """The sweep one dissociation series runs: one bond-length axis.
+
+    Exposed (rather than inlined in the drivers) so tests can assert the
+    knob-forwarding contract — ``num_seeds`` / ``max_workers`` and the
+    shared cache/checkpoint directories reach every series — without paying
+    for the searches.
+    """
+    base = RunSpec(
+        problem=molecule,
+        problem_options={
+            "bond_length": float(bond_lengths[0]),
+            "compute_exact": compute_exact,
+            "particle_sector": particle_sector,
+        },
+        ansatz_reps=ansatz_reps,
+        max_evaluations=int(max_evaluations),
+        num_seeds=num_seeds,
+        seed=seed,
+        max_workers=max_workers,
+        search_options={"constraint": constraint, "spin_z_target": None},
+    )
+    return SweepSpec(
+        base=base,
+        axes={"problem_options.bond_length": [float(b) for b in bond_lengths]},
+        cache_dir=cache_dir,
+        checkpoint_dir=checkpoint_dir,
+        name=name or f"dissociation:{molecule}",
+    )
+
+
+def _series_energies(report: SweepReport) -> List[float]:
+    """Per-point CAFQA energies of one swept series, in bond-length order."""
+    return [float(row.summary["energy"]) for row in report.runs]
+
+
 def run_dissociation_curve(
     molecule: str,
     scale: ExperimentScale = QUICK,
@@ -83,34 +143,40 @@ def run_dissociation_curve(
     ansatz_reps: int = 1,
     num_seeds: int = 1,
     max_workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    log: Optional[Callable[[str], None]] = None,
 ) -> DissociationCurveResult:
     """HF / CAFQA / exact dissociation curve for one molecule.
 
     ``num_seeds`` / ``max_workers`` shard best-of-N restarts per bond length
-    through the search orchestrator.
+    through the search orchestrator; ``cache_dir`` / ``checkpoint_dir`` make
+    the sweep resumable and shared with any other series run against them.
     """
     preset = get_preset(molecule)
     lengths = bond_lengths if bond_lengths is not None else _default_bond_lengths(molecule, scale)
     budget = scale.search_evaluations(preset.expected_qubits or 12)
-    points: List[DissociationPoint] = []
-    for index, bond_length in enumerate(lengths):
-        evaluation = evaluate_molecule(
-            molecule,
-            bond_length=bond_length,
-            max_evaluations=budget,
-            seed=seed + index,
-            ansatz_reps=ansatz_reps,
-            num_seeds=num_seeds,
-            max_workers=max_workers,
+    sweep = curve_sweepspec(
+        molecule,
+        lengths,
+        max_evaluations=budget,
+        seed=seed,
+        ansatz_reps=ansatz_reps,
+        num_seeds=num_seeds,
+        max_workers=max_workers,
+        cache_dir=cache_dir,
+        checkpoint_dir=checkpoint_dir,
+    )
+    report = run_sweep(sweep, log=log)
+    points = [
+        DissociationPoint(
+            bond_length=float(row.coords["problem_options.bond_length"]),
+            hf_energy=float(row.summary["reference_energy"]),
+            cafqa_energy=float(row.summary["energy"]),
+            exact_energy=row.summary.get("exact_energy"),
         )
-        points.append(
-            DissociationPoint(
-                bond_length=bond_length,
-                hf_energy=evaluation.hf_energy,
-                cafqa_energy=evaluation.cafqa_energy,
-                exact_energy=evaluation.exact_energy,
-            )
-        )
+        for row in report.runs
+    ]
     return DissociationCurveResult(molecule=molecule, points=points, scale_name=scale.name)
 
 
@@ -121,20 +187,39 @@ def run_fig08_h2(
     scale: ExperimentScale = QUICK,
     bond_lengths: Optional[Sequence[float]] = None,
     seed: int = 0,
+    num_seeds: int = 1,
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> DissociationCurveResult:
     """Fig. 8: H2 dissociation plus the electron-count-constrained H2+ cation."""
-    result = run_dissociation_curve("H2", scale=scale, bond_lengths=bond_lengths, seed=seed)
-    budget = scale.search_evaluations(2)
-    for index, point in enumerate(result.points):
-        cation = evaluate_molecule(
+    result = run_dissociation_curve(
+        "H2",
+        scale=scale,
+        bond_lengths=bond_lengths,
+        seed=seed,
+        num_seeds=num_seeds,
+        max_workers=max_workers,
+        cache_dir=cache_dir,
+        checkpoint_dir=checkpoint_dir,
+    )
+    cation = run_sweep(
+        curve_sweepspec(
             "H2+",
-            bond_length=point.bond_length,
-            max_evaluations=budget,
-            seed=seed + 1000 + index,
+            result.bond_lengths,
+            max_evaluations=scale.search_evaluations(2),
+            seed=seed + 1000,
+            num_seeds=num_seeds,
+            max_workers=max_workers,
+            cache_dir=cache_dir,
+            checkpoint_dir=checkpoint_dir,
             particle_sector=(1, 0),
             constraint=ParticleConstraint(num_alpha=1, num_beta=0, weight=4.0),
+            name="fig08:H2+cation",
         )
-        point.extra_series["cafqa_cation"] = cation.cafqa_energy
+    )
+    for point, energy in zip(result.points, _series_energies(cation)):
+        point.extra_series["cafqa_cation"] = energy
     return result
 
 
@@ -142,10 +227,22 @@ def run_fig09_lih(
     scale: ExperimentScale = QUICK,
     bond_lengths: Optional[Sequence[float]] = None,
     seed: int = 0,
+    num_seeds: int = 1,
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> DissociationCurveResult:
     """Fig. 9: LiH dissociation curve."""
     return run_dissociation_curve(
-        "LiH", scale=scale, bond_lengths=bond_lengths, seed=seed, ansatz_reps=2
+        "LiH",
+        scale=scale,
+        bond_lengths=bond_lengths,
+        seed=seed,
+        ansatz_reps=2,
+        num_seeds=num_seeds,
+        max_workers=max_workers,
+        cache_dir=cache_dir,
+        checkpoint_dir=checkpoint_dir,
     )
 
 
@@ -153,6 +250,10 @@ def run_fig10_h2o(
     scale: ExperimentScale = QUICK,
     bond_lengths: Optional[Sequence[float]] = None,
     seed: int = 0,
+    num_seeds: int = 1,
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> DissociationCurveResult:
     """Fig. 10: H2O dissociation, with singlet- and triplet-sector CAFQA series.
 
@@ -160,25 +261,43 @@ def run_fig10_h2o(
     series reuses the same Hamiltonian with a (n_alpha+1, n_beta-1) particle
     sector and spin-aware constraints (see DESIGN.md substitutions).
     """
-    result = run_dissociation_curve("H2O", scale=scale, bond_lengths=bond_lengths, seed=seed)
+    result = run_dissociation_curve(
+        "H2O",
+        scale=scale,
+        bond_lengths=bond_lengths,
+        seed=seed,
+        num_seeds=num_seeds,
+        max_workers=max_workers,
+        cache_dir=cache_dir,
+        checkpoint_dir=checkpoint_dir,
+    )
     preset = get_preset("H2O")
     budget = scale.search_evaluations(preset.expected_qubits or 12)
-    for index, point in enumerate(result.points):
-        problem = make_problem("H2O", point.bond_length, compute_exact=False)
-        triplet_sector = (problem.num_alpha + 1, problem.num_beta - 1)
-        triplet = evaluate_molecule(
+    # Electron counts do not depend on the geometry, so the triplet sector is
+    # computed once rather than once per bond length.
+    problem = make_problem("H2O", result.bond_lengths[0], compute_exact=False)
+    triplet_sector = (problem.num_alpha + 1, problem.num_beta - 1)
+    triplet = run_sweep(
+        curve_sweepspec(
             "H2O",
-            bond_length=point.bond_length,
+            result.bond_lengths,
             max_evaluations=budget,
-            seed=seed + 2000 + index,
+            seed=seed + 2000,
+            num_seeds=num_seeds,
+            max_workers=max_workers,
+            cache_dir=cache_dir,
+            checkpoint_dir=checkpoint_dir,
+            compute_exact=False,
             particle_sector=triplet_sector,
             constraint=ParticleConstraint(*triplet_sector, weight=4.0),
-            compute_exact=False,
+            name="fig10:H2O-triplet",
         )
+    )
+    for point, energy in zip(result.points, _series_energies(triplet)):
         point.extra_series["cafqa_singlet"] = point.cafqa_energy
-        point.extra_series["cafqa_triplet"] = triplet.cafqa_energy
+        point.extra_series["cafqa_triplet"] = energy
         # The headline CAFQA series takes the better of the two sectors.
-        point.cafqa_energy = min(point.cafqa_energy, triplet.cafqa_energy)
+        point.cafqa_energy = min(point.cafqa_energy, energy)
     return result
 
 
@@ -186,28 +305,51 @@ def run_fig11_h6(
     scale: ExperimentScale = QUICK,
     bond_lengths: Optional[Sequence[float]] = None,
     seed: int = 0,
+    num_seeds: int = 1,
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> DissociationCurveResult:
     """Fig. 11: H6 dissociation, with the spin-sector-optimized "opt." series."""
-    result = run_dissociation_curve("H6", scale=scale, bond_lengths=bond_lengths, seed=seed)
+    result = run_dissociation_curve(
+        "H6",
+        scale=scale,
+        bond_lengths=bond_lengths,
+        seed=seed,
+        num_seeds=num_seeds,
+        max_workers=max_workers,
+        cache_dir=cache_dir,
+        checkpoint_dir=checkpoint_dir,
+    )
     preset = get_preset("H6")
     budget = scale.search_evaluations(preset.expected_qubits or 10)
-    for index, point in enumerate(result.points):
-        problem = make_problem("H6", point.bond_length, compute_exact=False)
-        best_optimized = point.cafqa_energy
-        # Try higher-spin sectors as well and keep the best estimate.
-        for sector_shift in (1, 2):
-            sector = (problem.num_alpha + sector_shift, problem.num_beta - sector_shift)
-            if sector[1] < 0:
-                continue
-            optimized = evaluate_molecule(
+    problem = make_problem("H6", result.bond_lengths[0], compute_exact=False)
+    best_optimized = [point.cafqa_energy for point in result.points]
+    # Try higher-spin sectors as well and keep the best estimate per point.
+    for sector_shift in (1, 2):
+        sector = (problem.num_alpha + sector_shift, problem.num_beta - sector_shift)
+        if sector[1] < 0:
+            continue
+        optimized = run_sweep(
+            curve_sweepspec(
                 "H6",
-                bond_length=point.bond_length,
+                result.bond_lengths,
                 max_evaluations=budget,
-                seed=seed + 3000 + 10 * index + sector_shift,
+                seed=seed + 3000 + 1000 * sector_shift,
+                num_seeds=num_seeds,
+                max_workers=max_workers,
+                cache_dir=cache_dir,
+                checkpoint_dir=checkpoint_dir,
+                compute_exact=False,
                 particle_sector=sector,
                 constraint=ParticleConstraint(*sector, weight=4.0),
-                compute_exact=False,
+                name=f"fig11:H6-shift{sector_shift}",
             )
-            best_optimized = min(best_optimized, optimized.cafqa_energy)
-        point.extra_series["cafqa_opt"] = best_optimized
+        )
+        best_optimized = [
+            min(best, energy)
+            for best, energy in zip(best_optimized, _series_energies(optimized))
+        ]
+    for point, energy in zip(result.points, best_optimized):
+        point.extra_series["cafqa_opt"] = energy
     return result

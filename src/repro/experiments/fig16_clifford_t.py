@@ -5,18 +5,29 @@ for LiH in the paper) at a set of bond lengths.  The qualitative result to
 reproduce: allowing a handful of T gates recovers additional correlation
 energy at the bond lengths where Clifford-only CAFQA is limited, while the
 circuits stay classically simulable (the branch count is 2^k).
+
+The Clifford stage runs as a campaign sweep (:func:`repro.run_sweep`), so it
+honors ``num_seeds`` / ``max_workers`` and shares the sweep's evaluation
+cache and memo directory; the Clifford+T refinement stays a direct
+:class:`~repro.core.tgates.CliffordTSearch` seeded from each point's Clifford
+solution.  :func:`run_clifford_t_sweep` stacks curves over a list of
+t-budgets against one shared directory pair — the Clifford baselines are
+identical across budgets, so every budget after the first replays them as
+whole-run cache hits.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
-from repro.chemistry.molecules import get_preset, make_problem
+from repro.chemistry.molecules import get_preset
+from repro.circuits.ansatz import EfficientSU2Ansatz
 from repro.core.metrics import correlation_energy_recovered
-from repro.core.search import CafqaSearch
 from repro.core.tgates import CliffordTSearch
 from repro.experiments.config import ExperimentScale, QUICK, spread_bond_lengths
+from repro.experiments.dissociation import curve_sweepspec
+from repro.sweepspec import run_sweep
 
 
 @dataclass
@@ -65,6 +76,29 @@ class CliffordTCurveResult:
         return max(extras) if extras else 0.0
 
 
+@dataclass
+class CliffordTSweepResult:
+    """Curves for one molecule across several t-budgets, one shared cache."""
+
+    molecule: str
+    t_budgets: List[int]
+    curves: List[CliffordTCurveResult]
+
+    def curve_for(self, max_t_gates: int) -> Optional[CliffordTCurveResult]:
+        for curve in self.curves:
+            if curve.max_t_gates == max_t_gates:
+                return curve
+        return None
+
+    def more_t_never_hurts(self) -> bool:
+        """At each point, a larger t-budget should not do worse than a smaller one."""
+        for previous, current in zip(self.curves, self.curves[1:]):
+            for before, after in zip(previous.points, current.points):
+                if after.clifford_t_energy > before.clifford_t_energy + 1e-9:
+                    return False
+        return True
+
+
 def run_clifford_t_curve(
     molecule: str = "H2",
     max_t_gates: int = 1,
@@ -72,6 +106,11 @@ def run_clifford_t_curve(
     bond_lengths: Optional[Sequence[float]] = None,
     seed: int = 0,
     ansatz_reps: int = 1,
+    num_seeds: int = 1,
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    log: Optional[Callable[[str], None]] = None,
 ) -> CliffordTCurveResult:
     """Clifford-only vs Clifford+kT initialization quality across bond lengths."""
     preset = get_preset(molecule)
@@ -81,31 +120,97 @@ def run_clifford_t_curve(
     clifford_budget = scale.search_evaluations(preset.expected_qubits or 4)
     t_budget = scale.clifford_t_evaluations
 
+    clifford_report = run_sweep(
+        curve_sweepspec(
+            molecule,
+            bond_lengths,
+            max_evaluations=clifford_budget,
+            seed=seed,
+            ansatz_reps=ansatz_reps,
+            num_seeds=num_seeds,
+            max_workers=max_workers,
+            cache_dir=cache_dir,
+            checkpoint_dir=checkpoint_dir,
+            name=f"fig16:{molecule}-clifford",
+        ),
+        log=log,
+    )
+
     points: List[CliffordTPoint] = []
-    for index, bond_length in enumerate(bond_lengths):
-        problem = make_problem(molecule, bond_length)
-        clifford_search = CafqaSearch(problem, ansatz_reps=ansatz_reps, seed=seed + index)
-        clifford = clifford_search.run(max_evaluations=clifford_budget)
+    for row in clifford_report.runs:
+        if row.report is not None:
+            problem = row.report.problem
+            ansatz = row.report.best.ansatz
+            best_indices = row.report.best_indices
+        else:
+            # Memoized Clifford point: the search objects were never
+            # materialized, so rebuild the problem and the (deterministic)
+            # default ansatz, and take the winning point from the record.
+            problem = row.spec.resolve_problem()
+            ansatz = EfficientSU2Ansatz(problem.num_qubits, reps=ansatz_reps)
+            best_indices = [int(value) for value in row.summary["best_indices"]]
+        clifford_energy = row.energy
         # Seed the Clifford+T search with the Clifford solution (doubled indices
         # map pi/2 multiples into the pi/4 grid), so it can only improve on it.
-        seed_point = [2 * value for value in clifford.best_indices]
+        seed_point = [2 * value for value in best_indices]
         t_search = CliffordTSearch(
             problem,
             max_t_gates=max_t_gates,
-            ansatz=clifford_search.ansatz,
-            seed=seed + index,
+            ansatz=ansatz,
+            seed=row.spec.seed,
             seed_point=seed_point,
         )
         clifford_t = t_search.run(max_evaluations=t_budget)
-        best_t_energy = min(clifford_t.energy, clifford.energy)
+        best_t_energy = min(clifford_t.energy, clifford_energy)
         points.append(
             CliffordTPoint(
-                bond_length=float(bond_length),
+                bond_length=float(row.coords["problem_options.bond_length"]),
                 hf_energy=problem.hf_energy,
                 exact_energy=problem.exact_energy,
-                clifford_energy=clifford.energy,
+                clifford_energy=clifford_energy,
                 clifford_t_energy=best_t_energy,
                 num_t_gates_used=clifford_t.num_t_gates,
             )
         )
     return CliffordTCurveResult(molecule=molecule, max_t_gates=max_t_gates, points=points)
+
+
+def run_clifford_t_sweep(
+    molecule: str = "H2",
+    t_budgets: Sequence[int] = (1, 2),
+    scale: ExperimentScale = QUICK,
+    bond_lengths: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    ansatz_reps: int = 1,
+    num_seeds: int = 1,
+    max_workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> CliffordTSweepResult:
+    """One molecule's Clifford+T curves across several t-budgets.
+
+    All budgets share one cache/checkpoint directory pair: the Clifford
+    baseline sweep is the same run regardless of ``max_t_gates``, so every
+    budget after the first replays it from the campaign memo instead of
+    re-searching.
+    """
+    curves = [
+        run_clifford_t_curve(
+            molecule,
+            max_t_gates=int(budget),
+            scale=scale,
+            bond_lengths=bond_lengths,
+            seed=seed,
+            ansatz_reps=ansatz_reps,
+            num_seeds=num_seeds,
+            max_workers=max_workers,
+            cache_dir=cache_dir,
+            checkpoint_dir=checkpoint_dir,
+            log=log,
+        )
+        for budget in t_budgets
+    ]
+    return CliffordTSweepResult(
+        molecule=molecule, t_budgets=[int(budget) for budget in t_budgets], curves=curves
+    )

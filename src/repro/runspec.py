@@ -32,6 +32,21 @@ from repro.problems.base import ProblemSpec, reference_energy_of
 
 __all__ = ["RunSpec", "RunReport", "run"]
 
+# Fields that configure *execution* (where to cache, how many workers, what
+# to do about failures) but cannot change the search trajectory or its
+# result.  ``run_digest`` excludes them, so a run replayed with different
+# parallelism or in a different directory is still the same run.
+_EXECUTION_ONLY_FIELDS = frozenset(
+    {
+        "max_workers",
+        "cache_dir",
+        "checkpoint_dir",
+        "checkpoint_interval",
+        "failure_policy",
+        "vqe_timeout_seconds",
+    }
+)
+
 
 @dataclass
 class RunSpec:
@@ -177,6 +192,36 @@ class RunSpec:
             if key not in _OBJECTIVE_OPTIONS
         }
         return options_digest(loop_options)
+
+    def run_digest(self) -> str:
+        """Content address of the whole run's trajectory-determining config.
+
+        Two specs with the same digest produce bit-identical results (the
+        reproducibility contract), so the campaign scheduler can treat a
+        matching completed-run record as a cache hit.  Execution-only knobs
+        (``max_workers``, cache/checkpoint directories, ``failure_policy``,
+        ``vqe_timeout_seconds``, ``checkpoint_interval``) are excluded; an
+        instance-built problem contributes its Hamiltonian fingerprint in
+        place of a registry name.
+        """
+        from repro.core.orchestrator import options_digest
+
+        payload: Dict[str, object] = {}
+        for spec_field in fields(self):
+            if spec_field.name in _EXECUTION_ONLY_FIELDS or spec_field.name == "problem":
+                continue
+            value = getattr(self, spec_field.name)
+            if isinstance(value, dict):
+                # Insertion order must not matter: {"a": 1, "b": 2} and
+                # {"b": 2, "a": 1} describe the same run.
+                value = {key: value[key] for key in sorted(value)}
+            payload[spec_field.name] = value
+        payload["problem"] = (
+            self.problem
+            if isinstance(self.problem, str)
+            else f"fingerprint:{self.problem.fingerprint()}"
+        )
+        return options_digest(payload)
 
     @property
     def problem_label(self) -> str:

@@ -1,0 +1,273 @@
+"""Campaign scheduler: shared cache, whole-run memoization, partial sweeps.
+
+The ISSUE 7 acceptance scenarios live here: a 2-bond-length H2 sweep run
+twice against the same cache/checkpoint directories must replay the second
+pass entirely from memo records with zero new stabilizer evaluations, and a
+sweep with one injected failure must still return every other point with the
+failure recorded in the aggregate report.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.faults import FAULT_DIR_ENV, FAULT_SPEC_ENV
+from repro.core.pipeline import dissociation_curve
+from repro.exceptions import IncompleteRunError, ReproError
+from repro.runspec import RunSpec
+from repro.sweepspec import SweepSpec, run_sweep
+
+BOND_LENGTHS = [2.0, 2.5]
+
+
+def h2_sweep(tmp_path, subdir="campaign", **overrides) -> SweepSpec:
+    payload = {
+        "base": RunSpec(problem="H2", max_evaluations=24, seed=3),
+        "axes": {"problem_options.bond_length": BOND_LENGTHS},
+        "cache_dir": str(tmp_path / subdir / "cache"),
+        "checkpoint_dir": str(tmp_path / subdir / "ckpt"),
+    }
+    payload.update(overrides)
+    return SweepSpec(**payload)
+
+
+def cached_evaluations(sweep: SweepSpec) -> int:
+    """Total stabilizer evaluations recorded in the sweep's cache shards."""
+    cache = Path(sweep.cache_dir)
+    if not cache.exists():
+        return 0
+    return sum(
+        len(shard.read_text().splitlines()) for shard in cache.glob("evals_*.jsonl")
+    )
+
+
+def _inject_one_failure(monkeypatch, tmp_path):
+    # One deterministic (non-retried) raise at evaluation 8 of restart 0.
+    # ``times=1`` is counted in marker files shared across the sweep, so the
+    # fault takes down exactly one point and later points sail past it.
+    monkeypatch.setenv(
+        FAULT_SPEC_ENV,
+        json.dumps([{"restart": 0, "mode": "raise", "at": 8, "transient": False}]),
+    )
+    monkeypatch.setenv(FAULT_DIR_ENV, str(tmp_path / "markers"))
+
+
+def _clear_faults(monkeypatch):
+    monkeypatch.delenv(FAULT_SPEC_ENV, raising=False)
+    monkeypatch.delenv(FAULT_DIR_ENV, raising=False)
+
+
+class TestMemoization:
+    def test_resubmitted_sweep_is_all_cache_hits(self, tmp_path):
+        """ISSUE 7 acceptance: second identical pass replays, zero new evals."""
+        sweep = h2_sweep(tmp_path)
+        first = run_sweep(sweep)
+        assert first.num_completed == 2
+        assert first.num_memoized == 0
+        evaluations_after_first = cached_evaluations(sweep)
+        assert evaluations_after_first > 0
+
+        lines = []
+        second = run_sweep(SweepSpec.from_json(sweep.to_json()), log=lines.append)
+        assert second.num_memoized == 2
+        assert all(run.memoized for run in second.runs)
+        assert sum("cache hit" in line for line in lines) == 2
+        # zero new stabilizer evaluations on the second pass
+        assert cached_evaluations(sweep) == evaluations_after_first
+        # bit-identical table (modulo the memoized flag)
+        strip = lambda rows: [  # noqa: E731
+            {k: v for k, v in row.items() if k != "memoized"} for row in rows
+        ]
+        assert strip(second.as_table()) == strip(first.as_table())
+        assert [r.run_digest for r in second.runs] == [r.run_digest for r in first.runs]
+
+    def test_fresh_checkpoint_same_cache_pays_no_new_evaluations(self, tmp_path):
+        """Same cache, new memo dir: runs execute but every point is a cache hit."""
+        sweep = h2_sweep(tmp_path)
+        first = run_sweep(sweep)
+        evaluations = cached_evaluations(sweep)
+        rerun = h2_sweep(
+            tmp_path, checkpoint_dir=str(tmp_path / "campaign" / "ckpt2")
+        )
+        third = run_sweep(rerun)
+        assert third.num_memoized == 0  # fresh memo dir: runs truly re-execute
+        assert cached_evaluations(sweep) == evaluations  # ... from cache alone
+        assert third.energies == first.energies
+
+    def test_growing_a_sweep_replays_the_finished_prefix(self, tmp_path):
+        truncated = h2_sweep(
+            tmp_path, axes={"problem_options.bond_length": BOND_LENGTHS[:1]}
+        )
+        first = run_sweep(truncated)
+        full = h2_sweep(tmp_path)
+        second = run_sweep(full)
+        assert second.num_memoized == 1
+        assert second.runs[0].memoized and not second.runs[1].memoized
+        assert second.runs[0].energy == first.runs[0].energy
+
+    def test_memoize_false_always_executes(self, tmp_path):
+        sweep = h2_sweep(tmp_path, memoize=False)
+        run_sweep(sweep)
+        report = run_sweep(sweep)
+        assert report.num_memoized == 0
+        assert not (Path(sweep.checkpoint_dir) / "runs").exists()
+
+    def test_corrupt_memo_record_recomputes(self, tmp_path):
+        sweep = h2_sweep(tmp_path)
+        first = run_sweep(sweep)
+        memo_dir = Path(sweep.checkpoint_dir) / "runs"
+        records = sorted(memo_dir.glob("run_*.json"))
+        assert len(records) == 2
+        records[0].write_text("{ not json")
+        records[1].write_text(json.dumps({"format": 99, "status": "done"}))
+        report = run_sweep(sweep)
+        assert report.num_memoized == 0
+        assert report.energies == first.energies
+
+
+class TestPartialSweeps:
+    def test_injected_failure_yields_partial_report(self, monkeypatch, tmp_path):
+        """ISSUE 7 acceptance: one dead point, every other point still lands."""
+        _inject_one_failure(monkeypatch, tmp_path)
+        sweep = h2_sweep(tmp_path, base=RunSpec(
+            problem="H2", max_evaluations=24, seed=3,
+            failure_policy={"max_retries": 0},
+        ))
+        report = run_sweep(sweep)
+        assert report.is_partial
+        assert report.num_completed == 1
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.index == 0
+        assert failure.error_type == "IncompleteRunError"
+        assert failure.coords == {"problem_options.bond_length": 2.0}
+        assert failure.run_digest
+        assert failure.failed_restarts
+        assert "DeterministicRestartError" in failure.failed_restarts[0]["last_error"]
+        payload = json.loads(report.to_json())
+        assert payload["is_partial"] and payload["num_failed"] == 1
+        # the surviving point is a normal row
+        assert report.runs[0].coords == {"problem_options.bond_length": 2.5}
+
+    def test_resume_after_failure_is_bit_identical(self, monkeypatch, tmp_path):
+        """Kill one point mid-sweep, clear the fault, resubmit: full report,
+        bit-identical to a never-interrupted baseline."""
+        baseline = run_sweep(h2_sweep(tmp_path, subdir="baseline"))
+
+        _inject_one_failure(monkeypatch, tmp_path)
+        sweep = h2_sweep(tmp_path)
+        partial = run_sweep(sweep)
+        assert partial.is_partial and partial.num_completed == 1
+
+        _clear_faults(monkeypatch)
+        resumed = run_sweep(sweep)
+        assert not resumed.is_partial
+        assert resumed.num_completed == 2
+        assert resumed.num_memoized == 1  # the survivor replays from memo
+        assert resumed.energies == baseline.energies
+        assert [r.run_digest for r in resumed.runs] == [
+            r.run_digest for r in baseline.runs
+        ]
+
+    def test_on_failure_raise_aborts_the_sweep(self, monkeypatch, tmp_path):
+        _inject_one_failure(monkeypatch, tmp_path)
+        sweep = h2_sweep(tmp_path, on_failure="raise", base=RunSpec(
+            problem="H2", max_evaluations=24, seed=3,
+            failure_policy={"max_retries": 0},
+        ))
+        with pytest.raises(IncompleteRunError):
+            run_sweep(sweep)
+
+
+class TestReport:
+    def test_run_at_and_table_shape(self, tmp_path):
+        report = run_sweep(h2_sweep(tmp_path))
+        hit = report.run_at(**{"problem_options.bond_length": 2.5})
+        assert hit is not None and hit.index == 1
+        assert report.run_at(**{"problem_options.bond_length": 9.9}) is None
+        rows = report.as_table()
+        assert [row["point"] for row in rows] == [0, 1]
+        for row in rows:
+            assert {"problem_options.bond_length", "energy", "reference_energy",
+                    "memoized"} <= set(row)
+        # the aggregate report is JSON-serializable end to end
+        payload = json.loads(report.to_json())
+        assert payload["num_points"] == 2 and payload["num_memoized"] == 0
+
+
+class TestDissociationCurveFrontDoor:
+    def test_empty_numpy_bond_lengths_raise_cleanly(self):
+        # Regression: ``if not bond_lengths:`` blew up on numpy arrays with
+        # "truth value of an array ... is ambiguous" before the len() guard.
+        with pytest.raises(ReproError, match="at least one bond length"):
+            dissociation_curve("H2", np.array([]))
+        with pytest.raises(ReproError, match="at least one bond length"):
+            dissociation_curve("H2", [])
+
+    def test_numpy_linspace_input_works(self, tmp_path):
+        evaluations = dissociation_curve(
+            "H2",
+            np.linspace(2.0, 2.5, 2),
+            max_evaluations=24,
+            seed=3,
+            cache_dir=tmp_path / "cache",
+            checkpoint_dir=tmp_path / "ckpt",
+        )
+        assert [e.bond_length for e in evaluations] == BOND_LENGTHS
+        assert all(e.cafqa_energy <= e.hf_energy + 1e-9 for e in evaluations)
+        # a second call replays from the memo records: same numbers, summary-only
+        replay = dissociation_curve(
+            "H2",
+            np.linspace(2.0, 2.5, 2),
+            max_evaluations=24,
+            seed=3,
+            cache_dir=tmp_path / "cache",
+            checkpoint_dir=tmp_path / "ckpt",
+        )
+        assert [e.cafqa_energy for e in replay] == [e.cafqa_energy for e in evaluations]
+        assert all(e.cafqa is None and e.problem is None for e in replay)
+
+
+class TestDriverKnobForwarding:
+    def test_curve_sweepspec_forwards_every_knob(self, tmp_path):
+        # Regression: the fig8-11 wrappers used to drop num_seeds/max_workers
+        # and never shared a cache across their series.
+        from repro.experiments.dissociation import curve_sweepspec
+
+        sweep = curve_sweepspec(
+            "H2",
+            BOND_LENGTHS,
+            max_evaluations=24,
+            seed=5,
+            num_seeds=3,
+            max_workers=2,
+            cache_dir=str(tmp_path / "cache"),
+            checkpoint_dir=str(tmp_path / "ckpt"),
+        )
+        specs = [point.spec for point in sweep.expand()]
+        assert all(spec.num_seeds == 3 for spec in specs)
+        assert all(spec.max_workers == 2 for spec in specs)
+        assert all(spec.cache_dir == str(tmp_path / "cache") for spec in specs)
+        assert all(spec.checkpoint_dir == str(tmp_path / "ckpt") for spec in specs)
+        assert [spec.seed for spec in specs] == [5, 6]
+        assert [spec.problem_options["bond_length"] for spec in specs] == BOND_LENGTHS
+
+    def test_table1_sweepspec_molecule_axis(self, tmp_path):
+        from repro.experiments.table1 import table1_sweepspec
+
+        sweep = table1_sweepspec(
+            ["H2", "LiH"],
+            search_evaluations=24,
+            seed=9,
+            num_seeds=2,
+            max_workers=2,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        specs = [point.spec for point in sweep.expand()]
+        assert [spec.problem for spec in specs] == ["H2", "LiH"]
+        # unrelated problems share the same base seed (derive_seeds=False)
+        assert [spec.seed for spec in specs] == [9, 9]
+        assert all(spec.num_seeds == 2 and spec.max_workers == 2 for spec in specs)
+        assert all(spec.cache_dir == str(tmp_path / "cache") for spec in specs)

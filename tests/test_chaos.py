@@ -151,3 +151,49 @@ class TestChaosContract:
         assert [f.restart_index for f in error.failures] == [1]
         assert error.result is not None  # the partial result rides along
         assert [t.restart_index for t in error.result.traces] == [0]
+
+
+class TestChaosSweep:
+    def test_sweep_records_one_crashed_point_and_finishes_the_rest(
+        self, monkeypatch, tmp_path
+    ):
+        """ISSUE 7 acceptance: a campaign with one crashed worker still lands
+        every other point, with the failure recorded in the aggregate report."""
+        from repro.runspec import RunSpec
+        from repro.sweepspec import SweepSpec, run_sweep
+
+        # times=1 + a marker dir shared across the whole sweep: the crash
+        # fires once (first point, restart 0) and never again.
+        _set_faults(
+            monkeypatch,
+            tmp_path,
+            [{"restart": 0, "mode": "crash", "at": 8, "times": 1}],
+        )
+        sweep = SweepSpec(
+            base=RunSpec(
+                problem="H2",
+                problem_options={"bond_length": 3.5},
+                max_evaluations=24,
+                num_seeds=2,
+                max_workers=2,
+                seed=0,
+                failure_policy={"max_retries": 0},
+            ),
+            axes={"seed": [0, 100]},
+            cache_dir=str(tmp_path / "cache"),
+            checkpoint_dir=str(tmp_path / "ckpt"),
+        )
+        report = run_sweep(sweep)
+        assert report.is_partial
+        assert report.num_completed == 1
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.index == 0
+        assert failure.error_type == "IncompleteRunError"
+        assert any(
+            "WorkerCrashError" in (entry["last_error"] or "")
+            for entry in failure.failed_restarts
+        )
+        survivor = report.runs[0]
+        assert survivor.coords == {"seed": 100}
+        assert survivor.summary["num_failed_restarts"] == 0
