@@ -1,0 +1,133 @@
+"""Perf benchmark: the durable search service's queue and replay overheads.
+
+Two legs over one service data directory:
+
+* ``throughput``: submit a batch of distinct tiny Ising jobs and time a
+  single in-process worker draining the queue — jobs/second and
+  evaluations/second through the full durable path (claim transaction,
+  heartbeat thread, restart scheduler, sqlite evaluation cache, guarded
+  ``done`` transition), against the same runs executed directly through
+  ``repro.run`` with no service in between.  The overhead ratio is the
+  price of durability.
+* ``replay``: resubmit the identical batch and fetch every stored result —
+  the digest-hit path.  Replay must do zero new stabilizer evaluations
+  (asserted against the shared cache's row count), so its per-job latency
+  is pure store round-trip and should be orders of magnitude below a
+  recompute.
+
+Writes ``BENCH_service.json`` at the repo root.  Skipped unless
+``REPRO_BENCH=1``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.runspec import RunSpec
+from repro.service import ServiceWorker, open_store, shared_cache_path
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH") != "1",
+    reason="perf benchmark; set REPRO_BENCH=1 to run",
+)
+
+NUM_JOBS = 6
+NUM_SITES = 4
+MAX_EVALUATIONS = 60
+OUTPUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+
+def job_spec(seed: int) -> RunSpec:
+    return RunSpec(
+        problem="ising_chain",
+        problem_options={"num_sites": NUM_SITES},
+        max_evaluations=MAX_EVALUATIONS,
+        num_seeds=1,
+        seed=seed,
+    )
+
+
+def cache_rows(data) -> int:
+    with sqlite3.connect(shared_cache_path(data)) as connection:
+        (count,) = connection.execute("SELECT COUNT(*) FROM evaluations").fetchone()
+    return count
+
+
+def test_service_queue_throughput_and_replay_latency(tmp_path):
+    data = tmp_path / "svc"
+    specs = [job_spec(seed) for seed in range(NUM_JOBS)]
+
+    # Baseline: the same runs with no service in between.
+    start = time.perf_counter()
+    baselines = [repro.run(spec) for spec in specs]
+    direct_seconds = time.perf_counter() - start
+
+    with open_store(data) as store:
+        start = time.perf_counter()
+        digests = [store.submit(spec, submitter="bench").digest for spec in specs]
+        submit_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    stats = ServiceWorker(data, lease_ttl=60.0).run()
+    drain_seconds = time.perf_counter() - start
+    assert stats.completed == NUM_JOBS and stats.failed == 0
+
+    total_evaluations = 0
+    with open_store(data) as store:
+        for digest, baseline in zip(digests, baselines):
+            summary = store.result(digest)
+            assert summary["energy"] == baseline.energy  # durable != different
+            total_evaluations += summary["total_evaluations"]
+
+    # Replay leg: identical resubmission + result fetch, zero new work.
+    rows_before = cache_rows(data)
+    start = time.perf_counter()
+    with open_store(data) as store:
+        for spec in specs:
+            receipt = store.submit(spec, submitter="bench-replay")
+            assert receipt.replayed
+        for digest in digests:
+            assert store.result(digest) is not None
+    replay_seconds = time.perf_counter() - start
+    assert cache_rows(data) == rows_before  # zero new stabilizer evaluations
+
+    throughput = NUM_JOBS / drain_seconds
+    replay_per_job = replay_seconds / NUM_JOBS
+    overhead_ratio = drain_seconds / direct_seconds
+    replay_speedup = drain_seconds / max(replay_seconds, 1e-9)
+    payload = {
+        "benchmark": "service_queue_throughput_and_replay",
+        "problem": f"ising_chain[{NUM_SITES}]",
+        "num_jobs": NUM_JOBS,
+        "max_evaluations": MAX_EVALUATIONS,
+        "total_evaluations": total_evaluations,
+        "direct_seconds": round(direct_seconds, 3),
+        "submit_seconds": round(submit_seconds, 4),
+        "drain_seconds": round(drain_seconds, 3),
+        "jobs_per_sec": round(throughput, 2),
+        "evals_per_sec": round(total_evaluations / drain_seconds, 1),
+        # Full durable path vs direct execution of the identical runs.
+        "service_overhead_ratio": round(overhead_ratio, 3),
+        "replay_seconds": round(replay_seconds, 4),
+        "replay_seconds_per_job": round(replay_per_job, 5),
+        "replay_speedup_vs_recompute": round(replay_speedup, 1),
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"drain {throughput:.2f} jobs/s ({drain_seconds:.2f}s for {NUM_JOBS}), "
+        f"overhead {overhead_ratio:.2f}x vs direct, "
+        f"replay {replay_per_job * 1000:.2f} ms/job "
+        f"({replay_speedup:.0f}x faster than recompute)"
+    )
+
+    # A digest hit must be dramatically cheaper than recomputation, and the
+    # durable path must not multiply the cost of the work it wraps.
+    assert replay_speedup >= 20.0
+    assert overhead_ratio < 3.0

@@ -34,18 +34,24 @@ The package layers three groups of subsystems:
 __version__ = "1.0.0"
 
 from repro.exceptions import (
+    BackpressureError,
+    BudgetExceededError,
     ChemistryError,
     CircuitError,
     ConvergenceError,
     DeterministicRestartError,
     IncompleteRunError,
     InjectedFaultError,
+    JobNotFoundError,
+    LeaseLostError,
     NoiseModelError,
     OperatorError,
     OptimizationError,
     ReproError,
+    ResultCorruptError,
     RestartFailureError,
     RestartTimeoutError,
+    ServiceError,
     SimulationError,
     TransientRestartError,
     WorkerCrashError,
@@ -69,6 +75,12 @@ __all__ = [
     "RestartTimeoutError",
     "InjectedFaultError",
     "IncompleteRunError",
+    "ServiceError",
+    "JobNotFoundError",
+    "BackpressureError",
+    "BudgetExceededError",
+    "LeaseLostError",
+    "ResultCorruptError",
     "is_transient_failure",
     "run",
     "RunSpec",
@@ -77,6 +89,7 @@ __all__ = [
     "SweepSpec",
     "SweepReport",
     "problems",
+    "service",
 ]
 
 _LAZY_RUNSPEC_EXPORTS = frozenset({"run", "RunSpec", "RunReport"})
@@ -102,6 +115,10 @@ def __getattr__(name):
         import repro.problems as problems
 
         return problems
+    if name == "service":
+        import repro.service as service
+
+        return service
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
@@ -110,5 +127,5 @@ def __dir__():
         set(globals())
         | _LAZY_RUNSPEC_EXPORTS
         | _LAZY_SWEEP_EXPORTS
-        | {"SweepReport", "problems"}
+        | {"SweepReport", "problems", "service"}
     )

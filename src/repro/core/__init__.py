@@ -37,6 +37,11 @@ from repro.core.campaign import (
     SweepRun,
     run_campaign,
 )
+from repro.core.evalcache import (
+    EvaluationCacheBackend,
+    SqliteEvaluationCache,
+    open_cache,
+)
 from repro.core.objective import CliffordObjective
 from repro.core.orchestrator import (
     AttemptFailure,
@@ -107,6 +112,9 @@ __all__ = [
     "FaultSpec",
     "FaultInjectingObjective",
     "EvaluationCache",
+    "EvaluationCacheBackend",
+    "SqliteEvaluationCache",
+    "open_cache",
     "CachedObjective",
     "hamiltonian_fingerprint",
     "ansatz_fingerprint",

@@ -234,7 +234,7 @@ def _store_memo(
     Memoization is an optimization: a spec that cannot be serialized (e.g.
     one carrying a non-JSON search option) simply leaves no record.
     """
-    from repro.core.orchestrator import _write_json_atomic
+    from repro.io import write_json_atomic
 
     payload = {
         "format": MEMO_FORMAT,
@@ -254,7 +254,7 @@ def _store_memo(
         except (TypeError, ValueError):
             return
     try:
-        _write_json_atomic(_memo_path(memo_dir, run_digest), payload)
+        write_json_atomic(_memo_path(memo_dir, run_digest), payload)
     except OSError:
         pass
 

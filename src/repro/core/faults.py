@@ -45,8 +45,12 @@ __all__ = [
     "FaultInjectingObjective",
     "FAULT_SPEC_ENV",
     "FAULT_DIR_ENV",
+    "SERVICE_FAULT_ENV",
+    "ServiceFaultSpec",
     "load_fault_plan",
+    "load_service_fault_plan",
     "faults_for_restart",
+    "maybe_fire_service_fault",
 ]
 
 _ON_INCOMPLETE_CHOICES = ("raise", "partial")
@@ -221,6 +225,125 @@ def faults_for_restart(
         (f for f in load_fault_plan(environ) if int(f.restart) == int(restart_index)),
         key=lambda f: int(f.at),
     )
+
+
+# --------------------------------------------------------------------------- #
+# service-layer fault injection
+# --------------------------------------------------------------------------- #
+SERVICE_FAULT_ENV = "REPRO_SERVICE_FAULT_SPEC"
+
+_SERVICE_FAULT_MODES = ("crash", "raise")
+
+# The named points in the service worker's job lifecycle where a fault can
+# fire.  ``post_claim`` is "crashed while holding a fresh lease";
+# ``pre_complete`` is "crashed between the leased and done state transitions"
+# (the job is fully computed but never marked done — the torn-transition
+# scenario); ``post_complete`` is "crashed after commit" (a retry must replay
+# the stored result, not recompute).
+SERVICE_FAULT_EVENTS = ("post_claim", "pre_complete", "post_complete")
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """One prescribed service-layer fault: what fires at which lifecycle event.
+
+    ``times`` bounds firings across worker processes — counted in a marker
+    file under the fault directory (``REPRO_FAULT_DIR``), so the retry that
+    should succeed sails past an exhausted fault, exactly like the
+    evaluation-level :class:`FaultSpec` harness.
+    """
+
+    event: str
+    mode: str = "crash"
+    times: int = 1
+
+    def __post_init__(self):
+        if self.event not in SERVICE_FAULT_EVENTS:
+            raise ReproError(
+                f"service fault event must be one of {SERVICE_FAULT_EVENTS}, "
+                f"got {self.event!r}"
+            )
+        if self.mode not in _SERVICE_FAULT_MODES:
+            raise ReproError(
+                f"service fault mode must be one of {_SERVICE_FAULT_MODES}, "
+                f"got {self.mode!r}"
+            )
+
+
+def load_service_fault_plan(
+    environ: Optional[Dict[str, str]] = None,
+) -> List[ServiceFaultSpec]:
+    """The plan in ``REPRO_SERVICE_FAULT_SPEC`` (a JSON list of fault objects)."""
+    environ = os.environ if environ is None else environ
+    raw = environ.get(SERVICE_FAULT_ENV, "").strip()
+    if not raw:
+        return []
+    try:
+        payload = json.loads(raw)
+    except ValueError as error:
+        raise ReproError(f"{SERVICE_FAULT_ENV} is not valid JSON: {error}") from error
+    if not isinstance(payload, list):
+        raise ReproError(f"{SERVICE_FAULT_ENV} must be a JSON list of fault objects")
+    plan = []
+    for entry in payload:
+        if not isinstance(entry, dict):
+            raise ReproError(f"{SERVICE_FAULT_ENV} entries must be JSON objects")
+        known = {fault_field.name for fault_field in fields(ServiceFaultSpec)}
+        unknown = sorted(set(entry) - known)
+        if unknown:
+            raise ReproError(f"unknown service fault fields: {', '.join(unknown)}")
+        plan.append(ServiceFaultSpec(**entry))
+    return plan
+
+
+def maybe_fire_service_fault(
+    event: str,
+    marker_dir: Optional[os.PathLike] = None,
+    environ: Optional[Dict[str, str]] = None,
+) -> None:
+    """Fire any still-armed fault prescribed for this lifecycle event.
+
+    Called by the service worker at each :data:`SERVICE_FAULT_EVENTS` point.
+    Firings are counted in marker files (one per plan position) shared
+    across worker processes; without a marker directory each process
+    re-fires, which still terminates because a killed worker loses its lease
+    and a *different* process retries.
+    """
+    environ = os.environ if environ is None else environ
+    plan = load_service_fault_plan(environ)
+    if not plan:
+        return
+    if marker_dir is None:
+        raw_dir = environ.get(FAULT_DIR_ENV, "").strip()
+        marker_dir = raw_dir or None
+    directory = Path(marker_dir) if marker_dir is not None else None
+    if directory is not None:
+        directory.mkdir(parents=True, exist_ok=True)
+    for position, fault in enumerate(plan):
+        if fault.event != event:
+            continue
+        marker = (
+            directory / f"service_fault_{position}_{fault.event}.fired"
+            if directory is not None
+            else None
+        )
+        fired = 0
+        if marker is not None:
+            try:
+                fired = len(marker.read_text().splitlines())
+            except OSError:
+                fired = 0
+        if fired >= int(fault.times):
+            continue
+        if marker is not None:
+            # Closed before the fault fires, so the marker survives os._exit.
+            with open(marker, "a") as handle:
+                handle.write(f"{fault.mode}@pid{os.getpid()}\n")
+        if fault.mode == "crash":
+            os._exit(13)
+        raise InjectedFaultError(
+            f"injected service fault at {fault.event} (pid {os.getpid()})"
+        )
 
 
 class FaultInjectingObjective:

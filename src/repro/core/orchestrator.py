@@ -30,7 +30,7 @@ from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
-from typing import Dict, IO, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,6 +48,13 @@ from repro.core.faults import (
     FaultInjectingObjective,
     faults_for_restart,
 )
+from repro.core.evalcache import (
+    CacheShardWriter,
+    EvaluationCache,
+    EvaluationCacheBackend,
+    SqliteEvaluationCache,
+    open_cache,
+)
 from repro.core.objective import CliffordObjective
 from repro.core.search import CafqaResult, CafqaSearch
 from repro.exceptions import (
@@ -57,8 +64,13 @@ from repro.exceptions import (
     WorkerCrashError,
     is_transient_failure,
 )
+from repro.io import write_json_atomic
 from repro.operators.fingerprints import hamiltonian_fingerprint
 from repro.problems.base import ProblemSpec, reference_energy_of
+
+# Backwards-compatible alias: this helper lived here (privately) before being
+# promoted to :mod:`repro.io`; older call sites and tests import this name.
+_write_json_atomic = write_json_atomic
 
 Point = Tuple[int, ...]
 
@@ -76,8 +88,11 @@ __all__ = [
     "FailurePolicy",  # re-exported; lives in repro.core.faults
     "AttemptFailure",
     "RestartFailure",
-    "EvaluationCache",
-    "CacheShardWriter",
+    "EvaluationCache",  # re-exported; lives in repro.core.evalcache
+    "EvaluationCacheBackend",  # re-exported; lives in repro.core.evalcache
+    "SqliteEvaluationCache",  # re-exported; lives in repro.core.evalcache
+    "CacheShardWriter",  # re-exported; lives in repro.core.evalcache
+    "open_cache",  # re-exported; lives in repro.core.evalcache
     "CachedObjective",
     "hamiltonian_fingerprint",  # re-exported; lives in repro.operators.fingerprints
     "ansatz_fingerprint",
@@ -131,116 +146,8 @@ def energy_fingerprint(objective: CliffordObjective) -> str:
 
 
 # --------------------------------------------------------------------------- #
-# evaluation cache
+# cached objective (the cache backends live in repro.core.evalcache)
 # --------------------------------------------------------------------------- #
-class EvaluationCache:
-    """Objective values keyed by ``(fingerprint, Clifford index tuple)``.
-
-    The in-memory map is plain; process safety comes from the on-disk layout:
-    every writer appends to its own ``evals_*.jsonl`` shard (named with the
-    writing pid), so concurrent worker processes never interleave writes, and
-    every reader loads the union of all shards at startup.  A line that was
-    cut short by a killed process is skipped on load, which makes the store
-    safe to reuse after hard interruptions — exactly the property the
-    orchestrator's replay-based resume relies on.
-    """
-
-    def __init__(self, directory: Optional[os.PathLike] = None):
-        self._directory = Path(directory) if directory is not None else None
-        self._values: Dict[Tuple[str, Point], float] = {}
-        self._hits = 0
-        self._misses = 0
-        if self._directory is not None:
-            self._directory.mkdir(parents=True, exist_ok=True)
-            self._load_shards()
-
-    # ------------------------------------------------------------------ #
-    @property
-    def directory(self) -> Optional[Path]:
-        return self._directory
-
-    @property
-    def hits(self) -> int:
-        return self._hits
-
-    @property
-    def misses(self) -> int:
-        return self._misses
-
-    def __len__(self) -> int:
-        return len(self._values)
-
-    def __contains__(self, key: Tuple[str, Sequence[int]]) -> bool:
-        fingerprint, point = key
-        return (fingerprint, tuple(int(v) for v in point)) in self._values
-
-    def get(self, fingerprint: str, point: Sequence[int]) -> Optional[float]:
-        value = self._values.get((fingerprint, tuple(int(v) for v in point)))
-        if value is None:
-            self._misses += 1
-        else:
-            self._hits += 1
-        return value
-
-    def put(self, fingerprint: str, point: Sequence[int], value: float) -> None:
-        self._values[(fingerprint, tuple(int(v) for v in point))] = float(value)
-
-    def shard_writer(self, tag: str) -> "CacheShardWriter":
-        if self._directory is None:
-            raise OptimizationError("cache has no directory; cannot open a shard")
-        path = self._directory / f"evals_{tag}_{os.getpid()}.jsonl"
-        return CacheShardWriter(path)
-
-    # ------------------------------------------------------------------ #
-    def _load_shards(self) -> None:
-        for shard in sorted(self._directory.glob("evals_*.jsonl")):
-            try:
-                text = shard.read_text()
-            except OSError:
-                continue
-            for line in text.splitlines():
-                if not line.strip():
-                    continue
-                # Conversion happens inside the try: a wrong-shaped but
-                # valid-JSON line (string point, non-numeric value) must be
-                # skipped like a truncated one, not crash every run sharing
-                # this cache directory.
-                try:
-                    fingerprint, point, value = json.loads(line)
-                    key = (str(fingerprint), tuple(int(v) for v in point))
-                    self._values[key] = float(value)
-                except (ValueError, TypeError):
-                    continue  # truncated or corrupted line of an interrupted writer
-
-
-class CacheShardWriter:
-    """Append-only JSONL writer for one process's newly computed evaluations."""
-
-    def __init__(self, path: Path):
-        self._path = path
-        self._handle: Optional[IO[str]] = open(path, "a")
-
-    @property
-    def path(self) -> Path:
-        return self._path
-
-    def record(self, fingerprint: str, point: Sequence[int], value: float) -> None:
-        if self._handle is None:
-            raise OptimizationError("cache shard writer is closed")
-        self._handle.write(
-            json.dumps([fingerprint, [int(v) for v in point], float(value)]) + "\n"
-        )
-
-    def flush(self) -> None:
-        if self._handle is not None:
-            self._handle.flush()
-
-    def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
-
-
 class CachedObjective:
     """A :class:`CliffordObjective` backed by an :class:`EvaluationCache`.
 
@@ -254,8 +161,8 @@ class CachedObjective:
     def __init__(
         self,
         objective: CliffordObjective,
-        cache: EvaluationCache,
-        writer: Optional[CacheShardWriter] = None,
+        cache: EvaluationCacheBackend,
+        writer=None,
     ):
         self._objective = objective
         self._cache = cache
@@ -269,7 +176,7 @@ class CachedObjective:
         return self._fingerprint
 
     @property
-    def cache(self) -> EvaluationCache:
+    def cache(self) -> EvaluationCacheBackend:
         return self._cache
 
     @property
@@ -571,33 +478,6 @@ def _checkpoint_path(task: RestartTask) -> Path:
     )
 
 
-def _write_json_atomic(path: Path, payload: dict) -> None:
-    """Write-temp / fsync / rename: the checkpoint is either old or complete.
-
-    The temp file is fsynced *before* the rename — without it, a power loss
-    (or kill -9 racing the page cache) can persist the rename but not the
-    data, leaving an empty-but-renamed checkpoint.  The directory is fsynced
-    after, so the rename itself is durable too.  (Readers still tolerate
-    zero-byte/truncated checkpoints as stale — defence in depth.)
-    """
-    temporary = path.with_suffix(f".tmp.{os.getpid()}")
-    with open(temporary, "w") as handle:
-        handle.write(json.dumps(payload) + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(temporary, path)
-    try:
-        directory_fd = os.open(path.parent, os.O_RDONLY)
-    except OSError:
-        return  # platform without directory opening; rename is still atomic
-    try:
-        os.fsync(directory_fd)
-    except OSError:
-        pass
-    finally:
-        os.close(directory_fd)
-
-
 def _observation_to_row(observation: Observation) -> list:
     return [
         [int(v) for v in observation.point],
@@ -702,7 +582,7 @@ def run_restart(task: RestartTask) -> SeedTrace:
         return finished
 
     start = perf_counter()
-    cache = EvaluationCache(task.store_dir) if task.store_dir is not None else None
+    cache = open_cache(task.store_dir)
     objective = CliffordObjective(task.problem, task.ansatz, **task.objective_options)
     shard_path = None
     if cache is not None:

@@ -10,7 +10,7 @@ simulator with a fake-device noise model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import monotonic
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -149,7 +149,7 @@ class VQERunner:
             )
         else:
             recorder = _DeadlineObjective(
-                self.energy, deadline=perf_counter() + float(timeout_seconds)
+                self.energy, deadline=monotonic() + float(timeout_seconds)
             )
             try:
                 trace = self._optimizer.minimize(
@@ -211,10 +211,14 @@ class VQERunner:
 
 
 class _DeadlineObjective:
-    """Wraps an energy function with a wall-clock deadline and a recorder.
+    """Wraps an energy function with a monotonic-clock deadline and a recorder.
 
-    Raises :class:`~repro.exceptions.RestartTimeoutError` on the first call
-    past the deadline; every completed call is recorded so the caller can
+    The deadline is measured on ``time.monotonic`` — the same clock the
+    restart scheduler uses for ``FailurePolicy.restart_timeout`` — so NTP
+    steps or a wall-clock jump can neither fire the timeout early nor defer
+    it indefinitely.  Raises :class:`~repro.exceptions.RestartTimeoutError`
+    on the first call past the deadline; every completed call is recorded so
+    the caller can
     reconstruct a partial :class:`~repro.optim.base.OptimizationTrace` —
     the optimizer's own trace is lost when it is interrupted mid-iteration.
     """
@@ -227,7 +231,7 @@ class _DeadlineObjective:
         self._best_parameters: Optional[np.ndarray] = None
 
     def __call__(self, parameters: np.ndarray) -> float:
-        if perf_counter() >= self._deadline:
+        if monotonic() >= self._deadline:
             raise RestartTimeoutError("VQE tuning exceeded its wall-clock timeout")
         value = float(self._energy(parameters))
         self._history.append(value)

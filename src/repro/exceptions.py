@@ -102,6 +102,50 @@ class IncompleteRunError(ReproError):
         self.result = result
 
 
+# --------------------------------------------------------------------------- #
+# search service (durable job queue + result store)
+# --------------------------------------------------------------------------- #
+class ServiceError(ReproError):
+    """Base class for failures of the durable search service."""
+
+
+class JobNotFoundError(ServiceError):
+    """No job with the given run digest exists in the job store."""
+
+
+class BackpressureError(ServiceError):
+    """A submitter has too many jobs in flight; retry after some drain.
+
+    Transient by construction: the same submission succeeds once the
+    submitter's pending jobs complete.
+    """
+
+    transient = True
+
+
+class BudgetExceededError(ServiceError):
+    """A submission would exceed the submitter's evaluation budget."""
+
+    transient = False
+
+
+class LeaseLostError(ServiceError):
+    """A worker's lease expired (or was reclaimed) before it finished.
+
+    Raised by state transitions that require holding the lease — completing
+    or failing a job.  The job has been (or will be) reclaimed by another
+    worker; the late worker must drop its result on the floor, not store it.
+    """
+
+    transient = True
+
+
+class ResultCorruptError(ServiceError):
+    """A stored result record failed validation and the job was requeued."""
+
+    transient = True
+
+
 # Non-library exception types that still warrant a retry: infrastructure
 # errors (file systems, sockets, memory pressure) rather than logic errors.
 _TRANSIENT_BUILTIN_TYPES = (
@@ -125,4 +169,9 @@ def is_transient_failure(error: BaseException) -> bool:
     """
     if isinstance(error, RestartFailureError):
         return error.transient
+    # Service-layer errors carry a class-level ``transient`` flag too (e.g.
+    # BackpressureError is worth retrying, BudgetExceededError is not).
+    transient = getattr(type(error), "transient", None)
+    if isinstance(transient, bool):
+        return transient
     return isinstance(error, _TRANSIENT_BUILTIN_TYPES)

@@ -223,6 +223,18 @@ class RunSpec:
         )
         return options_digest(payload)
 
+    def evaluation_budget(self) -> int:
+        """Worst-case stabilizer evaluations this spec can schedule.
+
+        ``max_evaluations`` per restart, across ``num_seeds`` restarts and
+        ``num_states`` deflation levels — the unit the search service charges
+        against a submitter's budget (deduped cache hits make the realized
+        cost lower, but admission control must assume the worst).
+        """
+        return (
+            int(self.max_evaluations) * int(self.num_seeds) * int(self.num_states)
+        )
+
     @property
     def problem_label(self) -> str:
         return self.problem if isinstance(self.problem, str) else self.problem.name
@@ -316,6 +328,7 @@ class RunReport:
             "improvement_over_reference": self.improvement_over_reference,
             "best_indices": self.best_indices,
             "options_digest": self.spec.options_digest(),
+            "run_digest": self.spec.run_digest(),
         }
         # Failure/retry accounting: which restarts died, how many attempts
         # the run scheduled in total, and the worker wall-clock the failed

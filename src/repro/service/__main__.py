@@ -1,0 +1,218 @@
+"""CLI front door: ``python -m repro.service submit|work|status|result``.
+
+A complete serving loop from a shell::
+
+    # enqueue a job (spec JSON from a file, stdin, or --problem flags)
+    python -m repro.service submit --data svc --problem H2 --max-evaluations 100
+
+    # drain the queue (run one of these per core / per machine)
+    python -m repro.service work --data svc
+
+    # watch the queue and fetch the stored result
+    python -m repro.service status --data svc
+    python -m repro.service result --data svc <digest>
+
+``work`` installs SIGTERM/SIGINT handlers that finish the job in hand and
+then exit — draining a fleet is ``kill`` (not ``kill -9``), though the whole
+point of the lease machinery is that ``kill -9`` is also safe, just slower
+(the job waits out its TTL before another worker reclaims it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+
+from repro.exceptions import JobNotFoundError, ReproError
+from repro.runspec import RunSpec
+from repro.service import ServiceWorker, open_store
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Durable CAFQA search service: job queue + result store.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    submit = commands.add_parser("submit", help="enqueue a RunSpec as a job")
+    submit.add_argument("--data", required=True, help="service data directory")
+    submit.add_argument(
+        "--spec",
+        help="RunSpec JSON file ('-' reads stdin); exclusive with --problem",
+    )
+    submit.add_argument("--problem", help="registry problem name (e.g. H2)")
+    submit.add_argument("--max-evaluations", type=int, default=300)
+    submit.add_argument("--num-seeds", type=int, default=1)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--ansatz-reps", type=int, default=1)
+    submit.add_argument("--submitter", default="cli")
+    submit.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="backpressure: max queued+leased jobs per submitter",
+    )
+    submit.add_argument(
+        "--evaluation-budget",
+        type=int,
+        default=None,
+        help="admission control: max worst-case evaluations per submitter",
+    )
+
+    work = commands.add_parser("work", help="run a lease-based worker loop")
+    work.add_argument("--data", required=True)
+    work.add_argument("--lease-ttl", type=float, default=30.0)
+    work.add_argument("--poll-interval", type=float, default=0.2)
+    work.add_argument("--max-jobs", type=int, default=None)
+    work.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="keep polling this long after the queue empties (default: exit)",
+    )
+    work.add_argument("--worker-id", default=None)
+
+    status = commands.add_parser("status", help="queue counts and accounting")
+    status.add_argument("--data", required=True)
+    status.add_argument("digest", nargs="?", help="show one job instead")
+
+    result = commands.add_parser("result", help="fetch a done job's summary")
+    result.add_argument("--data", required=True)
+    result.add_argument("digest")
+    return parser
+
+
+def _load_spec(args) -> RunSpec:
+    if args.spec and args.problem:
+        raise ReproError("--spec and --problem are mutually exclusive")
+    if args.spec:
+        text = sys.stdin.read() if args.spec == "-" else open(args.spec).read()
+        return RunSpec.from_json(text)
+    if not args.problem:
+        raise ReproError("submit needs --spec or --problem")
+    return RunSpec(
+        problem=args.problem,
+        max_evaluations=args.max_evaluations,
+        num_seeds=args.num_seeds,
+        seed=args.seed,
+        ansatz_reps=args.ansatz_reps,
+    )
+
+
+def _cmd_submit(args) -> int:
+    spec = _load_spec(args)
+    store = open_store(
+        args.data,
+        max_pending_per_submitter=args.max_pending,
+        evaluation_budget_per_submitter=args.evaluation_budget,
+    )
+    try:
+        receipt = store.submit(spec, submitter=args.submitter)
+    finally:
+        store.close()
+    print(
+        json.dumps(
+            {
+                "digest": receipt.digest,
+                "state": receipt.state,
+                "created": receipt.created,
+                "attached": receipt.attached,
+                "replayed": receipt.replayed,
+            }
+        )
+    )
+    return 0
+
+
+def _cmd_work(args) -> int:
+    worker = ServiceWorker(
+        args.data,
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+        poll_interval=args.poll_interval,
+        max_jobs=args.max_jobs,
+        idle_timeout=args.idle_timeout,
+        log=lambda message: print(message, flush=True),
+    )
+
+    def _drain(signum, frame):
+        print(f"[worker {worker.worker_id}] drain requested", flush=True)
+        worker.request_stop()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    stats = worker.run()
+    print(
+        json.dumps(
+            {
+                "worker_id": stats.worker_id,
+                "claimed": stats.claimed,
+                "completed": stats.completed,
+                "failed": stats.failed,
+                "lease_lost": stats.lease_lost,
+                "stopped_by_request": stats.stopped_by_request,
+            }
+        )
+    )
+    return 0
+
+
+def _cmd_status(args) -> int:
+    store = open_store(args.data)
+    try:
+        if args.digest:
+            record = store.get(args.digest)
+            payload = {
+                "digest": record.digest,
+                "state": record.state,
+                "attempts": record.attempts,
+                "max_attempts": record.max_attempts,
+                "lease_owner": record.lease_owner,
+                "error": record.error,
+                "submitters": record.submitters,
+            }
+        else:
+            payload = store.status()
+            payload["jobs"] = [
+                {"digest": record.digest, "state": record.state}
+                for record in store.jobs()
+            ]
+    finally:
+        store.close()
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_result(args) -> int:
+    store = open_store(args.data)
+    try:
+        summary = store.result(args.digest)
+    finally:
+        store.close()
+    if summary is None:
+        print(f"job {args.digest} has no (valid) stored result yet", file=sys.stderr)
+        return 1
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "submit": _cmd_submit,
+        "work": _cmd_work,
+        "status": _cmd_status,
+        "result": _cmd_result,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ReproError, JobNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

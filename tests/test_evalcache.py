@@ -1,0 +1,195 @@
+"""Evaluation-cache backends: JSONL shards vs. the sqlite store.
+
+The backend contract under test: union-of-writers reads, bit-identical
+float round-trips (the exact-replay resume guarantee), corrupted records
+costing a recompute instead of a crash, and ``open_cache`` dispatching on
+the location's shape.  The orchestrator equivalence test pins the headline
+property: a search run against the sqlite backend is bit-identical to one
+run against JSONL shards — the backend is pure plumbing.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.core.evalcache import (
+    CacheShardWriter,
+    EvaluationCache,
+    SqliteEvaluationCache,
+    is_sqlite_cache_location,
+    open_cache,
+)
+from repro.core.orchestrator import SearchOrchestrator
+from repro.problems import ising_chain
+
+# Values chosen to have no short decimal representation: a backend that
+# round-trips through decimal formatting (rather than storing the double)
+# would fail the bit-identity assertions.
+UGLY = [0.1 + 0.2, -7.234567891234567e-3, 1.0 / 3.0, -76.27116243236735]
+
+
+class TestOpenCacheDispatch:
+    def test_none_passes_through(self):
+        assert open_cache(None) is None
+
+    def test_directory_opens_jsonl(self, tmp_path):
+        cache = open_cache(tmp_path / "shards")
+        assert isinstance(cache, EvaluationCache)
+
+    @pytest.mark.parametrize("suffix", [".sqlite", ".sqlite3", ".db"])
+    def test_database_suffix_opens_sqlite(self, tmp_path, suffix):
+        cache = open_cache(tmp_path / f"evals{suffix}")
+        assert isinstance(cache, SqliteEvaluationCache)
+
+    def test_existing_regular_file_opens_sqlite(self, tmp_path):
+        path = tmp_path / "evals"  # no telltale suffix
+        SqliteEvaluationCache(path)  # creates the database file
+        assert is_sqlite_cache_location(path)
+        assert isinstance(open_cache(path), SqliteEvaluationCache)
+
+    def test_missing_suffixless_path_opens_jsonl_directory(self, tmp_path):
+        assert isinstance(open_cache(tmp_path / "plain_dir"), EvaluationCache)
+
+
+class TestSqliteBackend:
+    def test_put_get_roundtrip_and_hit_accounting(self, tmp_path):
+        cache = SqliteEvaluationCache(tmp_path / "evals.sqlite")
+        cache.put("fp", (1, 2, 3), UGLY[0])
+        assert cache.get("fp", (1, 2, 3)) == UGLY[0]
+        assert cache.get("fp", (9, 9, 9)) is None
+        assert cache.hits == 1 and cache.misses == 1
+        assert ("fp", (1, 2, 3)) in cache
+        assert len(cache) == 1
+
+    def test_writer_persists_bit_identical_floats(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        writer = SqliteEvaluationCache(path).shard_writer("r000")
+        for position, value in enumerate(UGLY):
+            writer.record("fp", (position,), value)
+        writer.close()  # flushes
+        reloaded = SqliteEvaluationCache(path)
+        for position, value in enumerate(UGLY):
+            assert reloaded.get("fp", (position,)) == value
+
+    def test_unflushed_records_not_visible_flushed_are(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        writer = SqliteEvaluationCache(path).shard_writer("r000")
+        writer.record("fp", (0,), 1.5)
+        assert len(SqliteEvaluationCache(path)) == 0  # buffered, not committed
+        writer.flush()
+        assert SqliteEvaluationCache(path).get("fp", (0,)) == 1.5
+        writer.close()
+
+    def test_union_of_concurrent_writers(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        first = SqliteEvaluationCache(path).shard_writer("a")
+        second = SqliteEvaluationCache(path).shard_writer("b")
+        first.record("fp", (0,), 1.0)
+        second.record("fp", (1,), 2.0)
+        # Interleaved flushes from two open connections must both commit.
+        first.flush()
+        second.flush()
+        second.record("fp", (2,), 3.0)
+        second.close()
+        first.close()
+        union = SqliteEvaluationCache(path)
+        assert {union.get("fp", (i,)) for i in range(3)} == {1.0, 2.0, 3.0}
+
+    def test_duplicate_point_first_commit_wins_no_conflict(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        first = SqliteEvaluationCache(path).shard_writer("a")
+        second = SqliteEvaluationCache(path).shard_writer("b")
+        first.record("fp", (0,), 1.25)
+        second.record("fp", (0,), 1.25)  # deduped point, identical value
+        first.close()
+        second.close()  # INSERT OR IGNORE: no IntegrityError
+        assert SqliteEvaluationCache(path).get("fp", (0,)) == 1.25
+
+    def test_corrupt_row_skipped_not_crash(self, tmp_path):
+        path = tmp_path / "evals.sqlite"
+        writer = SqliteEvaluationCache(path).shard_writer("a")
+        writer.record("fp", (0,), 4.5)
+        writer.close()
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "INSERT INTO evaluations (fingerprint, point, value)"
+            " VALUES ('fp', 'not json [', 1.0)"
+        )
+        connection.commit()
+        connection.close()
+        cache = SqliteEvaluationCache(path)  # must not raise
+        assert cache.get("fp", (0,)) == 4.5
+        assert len(cache) == 1
+
+    def test_writer_path_is_none_so_fault_tearing_skips_the_db(self, tmp_path):
+        writer = SqliteEvaluationCache(tmp_path / "evals.sqlite").shard_writer("a")
+        assert writer.path is None
+        assert writer.database_path == tmp_path / "evals.sqlite"
+        writer.close()
+
+    def test_closed_writer_refuses_records(self, tmp_path):
+        from repro.exceptions import OptimizationError
+
+        writer = SqliteEvaluationCache(tmp_path / "e.sqlite").shard_writer("a")
+        writer.close()
+        with pytest.raises(OptimizationError):
+            writer.record("fp", (0,), 1.0)
+
+
+class TestJsonlBackendStillExact:
+    def test_jsonl_roundtrip_bit_identical(self, tmp_path):
+        cache = EvaluationCache(tmp_path)
+        writer = cache.shard_writer("r000")
+        for position, value in enumerate(UGLY):
+            writer.record("fp", (position,), value)
+        writer.close()
+        reloaded = EvaluationCache(tmp_path)
+        for position, value in enumerate(UGLY):
+            assert reloaded.get("fp", (position,)) == value
+
+    def test_torn_jsonl_line_skipped(self, tmp_path):
+        writer = CacheShardWriter(tmp_path / "evals_torn_1.jsonl")
+        writer.record("fp", (0,), 2.5)
+        writer.close()
+        with open(tmp_path / "evals_torn_1.jsonl", "a") as handle:
+            handle.write(json.dumps(["fp", [1], 9.9])[:-4])  # torn tail
+        cache = EvaluationCache(tmp_path)
+        assert cache.get("fp", (0,)) == 2.5
+        assert len(cache) == 1
+
+
+class TestOrchestratorBackendEquivalence:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return ising_chain(num_sites=4)
+
+    def test_sqlite_and_jsonl_runs_bit_identical(self, problem, tmp_path):
+        def run_with(cache_dir):
+            return SearchOrchestrator(
+                problem, num_restarts=2, max_workers=1, seed=0, cache_dir=cache_dir
+            ).run(max_evaluations=20)
+
+        bare = run_with(None)
+        jsonl = run_with(tmp_path / "shards")
+        sqlite_run = run_with(tmp_path / "evals.sqlite")
+        assert jsonl.energies == bare.energies
+        assert sqlite_run.energies == bare.energies
+        assert [t.best_indices for t in sqlite_run.traces] == [
+            t.best_indices for t in bare.traces
+        ]
+        assert (tmp_path / "evals.sqlite").exists()
+
+    def test_warm_sqlite_cache_replays_with_zero_misses(self, problem, tmp_path):
+        cache_db = tmp_path / "evals.sqlite"
+
+        def run_once():
+            return SearchOrchestrator(
+                problem, num_restarts=2, max_workers=1, seed=0, cache_dir=cache_db
+            ).run(max_evaluations=20)
+
+        cold = run_once()
+        warm = run_once()
+        assert warm.energies == cold.energies
+        assert all(t.cache_misses == 0 for t in warm.traces)
+        assert all(t.cache_hits > 0 for t in warm.traces)
