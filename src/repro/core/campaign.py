@@ -24,11 +24,12 @@ top of that per-run substrate the campaign adds three cross-run properties:
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
+from repro import telemetry
 from repro.exceptions import IncompleteRunError, ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -109,6 +110,9 @@ class SweepReport:
     runs: List[SweepRun]
     failures: List[SweepPointFailure] = field(default_factory=list)
     duration_seconds: float = 0.0
+    #: aggregated telemetry of the campaign's recording directory; None when
+    #: telemetry was off (the default) — execution metadata, not trajectory.
+    telemetry_summary: Optional[Dict[str, object]] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
     @property
@@ -154,7 +158,7 @@ class SweepReport:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-able aggregate: rows, failure metadata, sweep echo."""
-        return {
+        payload: Dict[str, object] = {
             "name": self.sweep.name,
             "num_points": self.num_points,
             "num_completed": self.num_completed,
@@ -176,6 +180,9 @@ class SweepReport:
             ],
             "duration_seconds": self.duration_seconds,
         }
+        if self.telemetry_summary is not None:
+            payload["telemetry_summary"] = self.telemetry_summary
+        return payload
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -280,7 +287,8 @@ def run_campaign(
     """
     from repro.runspec import run
 
-    started = perf_counter()
+    telemetry.init()
+    started = time.monotonic()
     points = sweep.expand()
     memo_dir = _memo_dir(sweep)
     if memo_dir is not None:
@@ -293,6 +301,9 @@ def run_campaign(
         if memo_dir is not None:
             summary = _load_memo(memo_dir, digest)
             if summary is not None:
+                telemetry.event(
+                    "campaign.memo_hit", point=point.index, digest=digest
+                )
                 _emit(
                     log,
                     f"[campaign] point {point.index} ({point.label}): "
@@ -309,9 +320,12 @@ def run_campaign(
                     )
                 )
                 continue
-        point_started = perf_counter()
+        point_started = time.monotonic()
         try:
-            report = run(point.spec)
+            with telemetry.span(
+                "campaign.point", point=point.index, label=point.label
+            ):
+                report = run(point.spec)
         except IncompleteRunError as error:
             if sweep.on_failure == "raise":
                 raise
@@ -323,7 +337,7 @@ def run_campaign(
                 f"({failure.error_type}) — recorded, sweep continues",
             )
             continue
-        elapsed = perf_counter() - point_started
+        elapsed = time.monotonic() - point_started
         summary = report.to_dict()
         if memo_dir is not None:
             _store_memo(memo_dir, digest, point.spec, summary)
@@ -344,11 +358,19 @@ def run_campaign(
                 duration_seconds=elapsed,
             )
         )
+    telemetry_summary = None
+    recorder = telemetry.current()
+    if recorder is not None:
+        from repro.telemetry.report import aggregate
+
+        telemetry.flush()
+        telemetry_summary = aggregate(recorder.directory)
     return SweepReport(
         sweep=sweep,
         runs=runs,
         failures=failures,
-        duration_seconds=perf_counter() - started,
+        duration_seconds=time.monotonic() - started,
+        telemetry_summary=telemetry_summary,
     )
 
 

@@ -30,6 +30,7 @@ import sqlite3
 from pathlib import Path
 from typing import Dict, IO, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.exceptions import OptimizationError
 
 Point = Tuple[int, ...]
@@ -52,6 +53,9 @@ class EvaluationCacheBackend:
     and (b) returning a writer object from :meth:`shard_writer` whose
     ``record``/``flush``/``close`` durably append newly computed values.
     """
+
+    #: telemetry label identifying the persistence backend; subclasses override.
+    backend_label = "memory"
 
     def __init__(self):
         self._values: Dict[Tuple[str, Point], float] = {}
@@ -78,12 +82,15 @@ class EvaluationCacheBackend:
         value = self._values.get((fingerprint, tuple(int(v) for v in point)))
         if value is None:
             self._misses += 1
+            telemetry.counter("cache.miss", 1, backend=self.backend_label)
         else:
             self._hits += 1
+            telemetry.counter("cache.hit", 1, backend=self.backend_label)
         return value
 
     def put(self, fingerprint: str, point: Sequence[int], value: float) -> None:
         self._values[(fingerprint, tuple(int(v) for v in point))] = float(value)
+        telemetry.counter("cache.insert", 1, backend=self.backend_label)
 
     def shard_writer(self, tag: str):
         raise NotImplementedError
@@ -103,6 +110,8 @@ class EvaluationCache(EvaluationCacheBackend):
     safe to reuse after hard interruptions — exactly the property the
     orchestrator's replay-based resume relies on.
     """
+
+    backend_label = "jsonl"
 
     def __init__(self, directory: Optional[os.PathLike] = None):
         super().__init__()
@@ -221,6 +230,8 @@ class SqliteEvaluationCache(EvaluationCacheBackend):
     reads return the stored float bit-for-bit, preserving the exact-replay
     resume contract.
     """
+
+    backend_label = "sqlite"
 
     def __init__(self, path: os.PathLike):
         super().__init__()

@@ -29,11 +29,11 @@ from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecu
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.bayesopt.optimizer import BayesianOptimizationResult, Observation
 from repro.circuits.ansatz import EfficientSU2Ansatz
 from repro.circuits.clifford_points import (
@@ -293,6 +293,7 @@ class RestartTask:
     store_dir: Optional[str]
     checkpoint_dir: Optional[str]
     checkpoint_interval: int
+    telemetry_dir: Optional[str] = None
 
 
 @dataclass
@@ -577,11 +578,14 @@ def run_restart(task: RestartTask) -> SeedTrace:
     .FaultInjectingObjective` that crashes, hangs, or corrupts this worker at
     the prescribed evaluation count — the deterministic chaos-testing hook.
     """
+    telemetry.init(task.telemetry_dir, tag=f"r{task.restart_index:03d}")
     finished = _load_finished_checkpoint(task)
     if finished is not None:
+        telemetry.event("restart.from_checkpoint", restart=task.restart_index)
+        telemetry.flush()
         return finished
 
-    start = perf_counter()
+    start = time.monotonic()
     cache = open_cache(task.store_dir)
     objective = CliffordObjective(task.problem, task.ansatz, **task.objective_options)
     shard_path = None
@@ -646,12 +650,17 @@ def run_restart(task: RestartTask) -> SeedTrace:
             )
 
     try:
-        result = search.run(
-            max_evaluations=task.max_evaluations, callback=on_observation
-        )
+        with telemetry.span(
+            "restart", restart=task.restart_index, seed=task.seed
+        ):
+            result = search.run(
+                max_evaluations=task.max_evaluations, callback=on_observation
+            )
+            telemetry.counter("search.evaluations", result.num_iterations)
     finally:
         if cache is not None:
             objective.close()
+        telemetry.flush()
 
     trace = SeedTrace(
         restart_index=task.restart_index,
@@ -662,7 +671,7 @@ def run_restart(task: RestartTask) -> SeedTrace:
         num_iterations=result.num_iterations,
         converged_iteration=result.converged_iteration,
         observations=list(result.search_result.observations),
-        duration_seconds=perf_counter() - start,
+        duration_seconds=time.monotonic() - start,
         cache_hits=cache.hits if cache is not None else 0,
         cache_misses=cache.misses if cache is not None else 0,
     )
@@ -724,6 +733,7 @@ class SearchOrchestrator:
         cache_dir: Optional[os.PathLike] = None,
         checkpoint_interval: int = 32,
         failure_policy: Optional[FailurePolicy] = None,
+        telemetry_dir: Optional[os.PathLike] = None,
         **search_options,
     ):
         if num_restarts < 1:
@@ -739,6 +749,7 @@ class SearchOrchestrator:
             problem.num_qubits, reps=ansatz_reps
         )
         self._cache_dir = str(cache_dir) if cache_dir is not None else None
+        self._telemetry_dir = str(telemetry_dir) if telemetry_dir is not None else None
         self._checkpoint_interval = int(checkpoint_interval)
         self._objective_options = {
             key: search_options.pop(key)
@@ -788,6 +799,12 @@ class SearchOrchestrator:
         store = self._cache_dir if self._cache_dir is not None else checkpoint
         if checkpoint is not None:
             Path(checkpoint).mkdir(parents=True, exist_ok=True)
+        # Resolve the effective telemetry directory once: explicit knob,
+        # $REPRO_TELEMETRY_DIR, or a recorder configured programmatically.
+        # Passing it through the task keeps pool workers recording even when
+        # activation did not travel through the environment.
+        recorder = telemetry.init(self._telemetry_dir)
+        telemetry_dir = str(recorder.directory) if recorder is not None else None
         digest = options_digest(self._search_options)
         tasks = [
             RestartTask(
@@ -803,6 +820,7 @@ class SearchOrchestrator:
                 store_dir=store,
                 checkpoint_dir=checkpoint,
                 checkpoint_interval=self._checkpoint_interval,
+                telemetry_dir=telemetry_dir,
             )
             for index, seed in enumerate(self.restart_seeds())
         ]
@@ -813,10 +831,17 @@ class SearchOrchestrator:
         workers = min(workers, self._num_restarts)
 
         policy = self._failure_policy
-        if workers <= 1:
-            traces, failures = self._execute_inline(tasks, policy)
-        else:
-            traces, failures = self._execute_pool(tasks, workers, policy)
+        with telemetry.span(
+            "orchestrator.run",
+            problem=self._problem.name,
+            restarts=self._num_restarts,
+            workers=workers,
+        ):
+            if workers <= 1:
+                traces, failures = self._execute_inline(tasks, policy)
+            else:
+                traces, failures = self._execute_pool(tasks, workers, policy)
+        telemetry.flush()
 
         if failures and (policy.on_incomplete == "raise" or not traces):
             partial = self._merge(traces, failures) if traces else None
@@ -863,9 +888,22 @@ class SearchOrchestrator:
                         elapsed_seconds=elapsed,
                     )
                     history.append(record)
+                    telemetry.event(
+                        "restart.attempt_failed",
+                        restart=task.restart_index,
+                        attempt=attempts,
+                        error=record.error_type,
+                        transient=record.transient,
+                    )
                     if record.transient and attempts < policy.max_attempts:
                         delay = policy.backoff_delay(
                             self._seed, task.restart_index, attempts
+                        )
+                        telemetry.event(
+                            "restart.retry",
+                            restart=task.restart_index,
+                            attempt=attempts,
+                            backoff=delay,
                         )
                         if delay > 0:
                             time.sleep(delay)
@@ -1003,6 +1041,12 @@ class SearchOrchestrator:
                         needs_rebuild = True
                     if future in timed_out:
                         timed_out.discard(future)
+                        telemetry.event(
+                            "restart.timeout",
+                            restart=index,
+                            attempt=entry["attempts"],
+                            timeout=policy.restart_timeout,
+                        )
                         error = RestartTimeoutError(
                             f"restart {index} exceeded the per-restart timeout of "
                             f"{policy.restart_timeout}s (attempt {entry['attempts']})"
@@ -1028,8 +1072,21 @@ class SearchOrchestrator:
                     )
                     entry["history"].append(record)
                     entry["lost"] += elapsed
+                    telemetry.event(
+                        "restart.attempt_failed",
+                        restart=index,
+                        attempt=entry["attempts"],
+                        error=record.error_type,
+                        transient=record.transient,
+                    )
                     if record.transient and entry["attempts"] < policy.max_attempts:
                         delay = policy.backoff_delay(self._seed, index, entry["attempts"])
+                        telemetry.event(
+                            "restart.retry",
+                            restart=index,
+                            attempt=entry["attempts"],
+                            backoff=delay,
+                        )
                         ready.append((now + delay, index))
                     else:
                         failed[index] = RestartFailure(

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.circuits.ansatz import EfficientSU2Ansatz
 from repro.circuits.clifford_points import hartree_fock_clifford_point, indices_to_angles
 from repro.exceptions import OptimizationError, RestartTimeoutError
@@ -143,21 +144,34 @@ class VQERunner:
             raise OptimizationError("timeout_seconds must be positive when given")
         initial_energy = self.energy(initial_parameters)
         timed_out = False
-        if timeout_seconds is None:
-            trace = self._optimizer.minimize(
-                self.energy, initial_parameters, max_iterations
-            )
-        else:
-            recorder = _DeadlineObjective(
-                self.energy, deadline=monotonic() + float(timeout_seconds)
-            )
-            try:
+        with telemetry.span(
+            "vqe.run",
+            problem=self._problem.name,
+            initial=initial_label,
+            noisy=self._noise_model is not None,
+        ):
+            if timeout_seconds is None:
                 trace = self._optimizer.minimize(
-                    recorder, initial_parameters, max_iterations
+                    self.energy, initial_parameters, max_iterations
                 )
-            except RestartTimeoutError:
-                timed_out = True
-                trace = recorder.partial_trace(initial_parameters, initial_energy)
+            else:
+                recorder = _DeadlineObjective(
+                    self.energy, deadline=monotonic() + float(timeout_seconds)
+                )
+                try:
+                    trace = self._optimizer.minimize(
+                        recorder, initial_parameters, max_iterations
+                    )
+                except RestartTimeoutError:
+                    timed_out = True
+                    trace = recorder.partial_trace(initial_parameters, initial_energy)
+                    telemetry.event(
+                        "vqe.timeout",
+                        problem=self._problem.name,
+                        timeout=float(timeout_seconds),
+                        evaluations=trace.num_evaluations,
+                    )
+        telemetry.counter("vqe.evaluations", len(trace.history))
         final_energy = min(float(trace.best_value), initial_energy)
         best_parameters = (
             trace.best_parameters if trace.best_value <= initial_energy else initial_parameters

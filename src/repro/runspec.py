@@ -44,6 +44,7 @@ _EXECUTION_ONLY_FIELDS = frozenset(
         "checkpoint_interval",
         "failure_policy",
         "vqe_timeout_seconds",
+        "telemetry_dir",
     }
 )
 
@@ -93,6 +94,7 @@ class RunSpec:
     deflation_weight: float = DEFAULT_DEFLATION_WEIGHT
     failure_policy: Optional[Union[Dict[str, object], "FailurePolicy"]] = None  # noqa: F821
     vqe_timeout_seconds: Optional[float] = None
+    telemetry_dir: Optional[str] = None
     search_options: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self):
@@ -254,6 +256,10 @@ class RunReport:
     result: "MultiSeedResult" = field(repr=False)  # noqa: F821
     vqe: Optional["VQEResult"] = field(default=None, repr=False)  # noqa: F821
     states: Optional["ExcitedStatesResult"] = field(default=None, repr=False)  # noqa: F821
+    #: aggregated telemetry of the run's recording directory; None when
+    #: telemetry was off (the default).  Execution metadata, not trajectory:
+    #: the same run records different timings but identical energies.
+    telemetry_summary: Optional[Dict[str, object]] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------ #
     @property
@@ -358,6 +364,8 @@ class RunReport:
         if self.vqe is not None:
             payload["vqe_final_energy"] = float(self.vqe.final_energy)
             payload["vqe_noisy"] = bool(self.vqe.noisy)
+        if self.telemetry_summary is not None:
+            payload["telemetry_summary"] = self.telemetry_summary
         return payload
 
     def __repr__(self) -> str:
@@ -384,8 +392,10 @@ def run(spec: RunSpec, problem: Optional[ProblemSpec] = None) -> RunReport:
     optional VQE stage then tunes the *ground* level's initialization, as in
     the single-state case.
     """
+    from repro import telemetry
     from repro.core.orchestrator import SearchOrchestrator
 
+    telemetry.init(spec.telemetry_dir)
     if spec.noise and not spec.vqe_iterations:
         raise ReproError(
             "noise presets only apply to the VQE stage (the Clifford search is "
@@ -426,6 +436,7 @@ def run(spec: RunSpec, problem: Optional[ProblemSpec] = None) -> RunReport:
             cache_dir=spec.cache_dir,
             checkpoint_interval=int(spec.checkpoint_interval),
             failure_policy=failure_policy,
+            telemetry_dir=spec.telemetry_dir,
             **extras,
             **search_options,
         )
@@ -454,4 +465,18 @@ def run(spec: RunSpec, problem: Optional[ProblemSpec] = None) -> RunReport:
             timeout_seconds=spec.vqe_timeout_seconds,
         )
 
-    return RunReport(spec=spec, problem=problem, result=result, vqe=vqe, states=states)
+    telemetry_summary = None
+    recorder = telemetry.current()
+    if recorder is not None:
+        from repro.telemetry.report import aggregate
+
+        telemetry.flush()
+        telemetry_summary = aggregate(recorder.directory)
+    return RunReport(
+        spec=spec,
+        problem=problem,
+        result=result,
+        vqe=vqe,
+        states=states,
+        telemetry_summary=telemetry_summary,
+    )

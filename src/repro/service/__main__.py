@@ -74,6 +74,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="keep polling this long after the queue empties (default: exit)",
     )
     work.add_argument("--worker-id", default=None)
+    work.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="record service/run telemetry shards here "
+        "(defaults to $REPRO_TELEMETRY_DIR when set)",
+    )
 
     status = commands.add_parser("status", help="queue counts and accounting")
     status.add_argument("--data", required=True)
@@ -136,6 +142,7 @@ def _cmd_work(args) -> int:
         max_jobs=args.max_jobs,
         idle_timeout=args.idle_timeout,
         log=lambda message: print(message, flush=True),
+        telemetry_dir=args.telemetry_dir,
     )
 
     def _drain(signum, frame):

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from repro import telemetry
 from repro.exceptions import (
     BackpressureError,
     BudgetExceededError,
@@ -189,6 +190,9 @@ class JobStore:
         self._connection.execute("PRAGMA synchronous=NORMAL")
         self._connection.execute("PRAGMA busy_timeout=30000")
         self._create_schema()
+        # Every handle is an activation point: a CLI `submit`, a worker, and
+        # a heartbeat thread each record into $REPRO_TELEMETRY_DIR when set.
+        telemetry.init()
 
     # ------------------------------------------------------------------ #
     @property
@@ -226,8 +230,13 @@ class JobStore:
                 " lease_expires REAL,"
                 " lease_boot_id TEXT,"
                 " result_json TEXT,"
-                " error TEXT)"
+                " error TEXT,"
+                " enqueued_at REAL)"
             )
+            try:
+                cursor.execute("ALTER TABLE jobs ADD COLUMN enqueued_at REAL")
+            except sqlite3.OperationalError:
+                pass  # pre-existing database already migrated (or brand new)
             cursor.execute(
                 "CREATE TABLE IF NOT EXISTS job_submitters ("
                 " digest TEXT NOT NULL,"
@@ -278,10 +287,16 @@ class JobStore:
                     cursor.execute(
                         "UPDATE jobs SET state='queued', attempts=0,"
                         " lease_owner=NULL, lease_expires=NULL,"
-                        " lease_boot_id=NULL, error=NULL WHERE digest = ?",
-                        (digest,),
+                        " lease_boot_id=NULL, error=NULL, enqueued_at=?"
+                        " WHERE digest = ?",
+                        (float(self._clock()), digest),
                     )
                     state = "queued"
+                telemetry.event(
+                    "service.submit",
+                    submitter=submitter,
+                    outcome="replayed" if state == "done" else "attached",
+                )
                 return SubmitReceipt(
                     digest=digest,
                     state=state,
@@ -291,8 +306,8 @@ class JobStore:
             self._admit(cursor, submitter, charge)
             cursor.execute(
                 "INSERT INTO jobs (digest, spec_json, state, max_attempts,"
-                " evaluations_charged) VALUES (?, ?, 'queued', ?, ?)",
-                (digest, spec_json, self._max_attempts, charge),
+                " evaluations_charged, enqueued_at) VALUES (?, ?, 'queued', ?, ?, ?)",
+                (digest, spec_json, self._max_attempts, charge, float(self._clock())),
             )
             cursor.execute(
                 "INSERT OR IGNORE INTO job_submitters (digest, name) VALUES (?, ?)",
@@ -307,6 +322,7 @@ class JobStore:
                 ".evaluations_charged",
                 (submitter, charge),
             )
+        telemetry.event("service.submit", submitter=submitter, outcome="created")
         return SubmitReceipt(digest=digest, state="queued", created=True)
 
     def _attach_submitter(self, cursor, digest: str, submitter: str, state: str):
@@ -388,6 +404,9 @@ class JobStore:
                             digest,
                         ),
                     )
+                    telemetry.event(
+                        "service.lease_exhausted", digest=digest, attempts=attempts
+                    )
                     continue  # look for the next claimable job
                 cursor.execute(
                     "UPDATE jobs SET state='leased', lease_owner=?,"
@@ -403,6 +422,13 @@ class JobStore:
                 # ReproError): fail it and keep claiming.
                 self._fail_unloadable(digest, worker_id, str(error))
                 continue
+            telemetry.event(
+                "service.claim",
+                digest=digest,
+                worker=worker_id,
+                attempt=int(attempts) + 1,
+                reclaimed=state == "leased",
+            )
             return ClaimedJob(
                 digest=digest,
                 spec=spec,
@@ -428,7 +454,9 @@ class JobStore:
                 " AND state='leased' AND lease_owner=? AND lease_boot_id=?",
                 (now + float(lease_ttl), digest, worker_id, self._boot_id),
             )
-            return cursor.rowcount == 1
+            renewed = cursor.rowcount == 1
+        telemetry.counter("service.heartbeat", 1, renewed=renewed)
+        return renewed
 
     # ------------------------------------------------------------------ #
     # completion
@@ -456,6 +484,7 @@ class JobStore:
                     f"worker {worker_id!r} no longer holds the lease on "
                     f"job {digest}; result dropped"
                 )
+        telemetry.event("service.complete", digest=digest, worker=worker_id)
 
     def fail(
         self, digest: str, worker_id: str, message: str, transient: bool = True
@@ -480,9 +509,18 @@ class JobStore:
             state = "queued" if transient and attempts < max_attempts else "failed"
             cursor.execute(
                 "UPDATE jobs SET state=?, lease_owner=NULL, lease_expires=NULL,"
-                " lease_boot_id=NULL, error=? WHERE digest = ?",
-                (state, str(message)[:500], digest),
+                " lease_boot_id=NULL, error=?,"
+                " enqueued_at=CASE WHEN ?='queued' THEN ? ELSE enqueued_at END"
+                " WHERE digest = ?",
+                (state, str(message)[:500], state, float(self._clock()), digest),
             )
+        telemetry.event(
+            "service.fail",
+            digest=digest,
+            worker=worker_id,
+            state=state,
+            transient=transient,
+        )
         return state
 
     # ------------------------------------------------------------------ #
@@ -511,9 +549,15 @@ class JobStore:
                 # re-completed) the job between our read and this write.
                 cursor.execute(
                     "UPDATE jobs SET state='queued', result_json=NULL,"
-                    " attempts=0, error=? WHERE digest = ? AND state='done'"
+                    " attempts=0, error=?, enqueued_at=?"
+                    " WHERE digest = ? AND state='done'"
                     " AND result_json IS ?",
-                    ("stored result record was corrupt; requeued", digest, record),
+                    (
+                        "stored result record was corrupt; requeued",
+                        float(self._clock()),
+                        digest,
+                        record,
+                    ),
                 )
             return None
         return summary
@@ -601,10 +645,29 @@ class JobStore:
             )
         ]
 
+    def queue_metrics(self) -> Dict[str, object]:
+        """Queue depth by state + oldest queued-job age, in one snapshot.
+
+        The same numbers feed the worker's telemetry gauges and the status
+        CLI.  ``oldest_queued_age_seconds`` is None with nothing queued (or
+        when every queued row predates the ``enqueued_at`` migration); ages
+        are measured on the store's clock and clamped at zero.
+        """
+        depth = self.counts()
+        row = self._connection.execute(
+            "SELECT MIN(enqueued_at) FROM jobs"
+            " WHERE state='queued' AND enqueued_at IS NOT NULL"
+        ).fetchone()
+        oldest = None
+        if row is not None and row[0] is not None:
+            oldest = max(0.0, float(self._clock()) - float(row[0]))
+        return {"depth": depth, "oldest_queued_age_seconds": oldest}
+
     def status(self) -> Dict[str, object]:
         return {
             "path": str(self._path),
             "counts": self.counts(),
+            "queue": self.queue_metrics(),
             "submitters": self.accounting(),
         }
 

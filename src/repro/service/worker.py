@@ -32,6 +32,7 @@ import uuid
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import telemetry
 from repro.core.faults import maybe_fire_service_fault
 from repro.exceptions import (
     IncompleteRunError,
@@ -124,6 +125,7 @@ class ServiceWorker:
         max_jobs: Optional[int] = None,
         idle_timeout: Optional[float] = None,
         log=None,
+        telemetry_dir: Optional[os.PathLike] = None,
     ):
         if float(lease_ttl) <= 0:
             raise ReproError("lease_ttl must be positive")
@@ -135,6 +137,9 @@ class ServiceWorker:
         self._max_jobs = max_jobs
         self._idle_timeout = idle_timeout
         self._log = log
+        self._telemetry_dir = (
+            str(telemetry_dir) if telemetry_dir is not None else None
+        )
         self._stop_requested = threading.Event()
 
     # ------------------------------------------------------------------ #
@@ -153,6 +158,7 @@ class ServiceWorker:
     # ------------------------------------------------------------------ #
     def run(self) -> WorkerStats:
         """Drain the queue until empty, stopped, or ``max_jobs`` executed."""
+        telemetry.init(self._telemetry_dir, tag="worker")
         stats = WorkerStats(worker_id=self._worker_id)
         store = JobStore(self._queue_path)
         idle_since: Optional[float] = None
@@ -174,11 +180,24 @@ class ServiceWorker:
                 idle_since = None
                 stats.claimed += 1
                 stats.digests.append(claim.digest)
+                self._sample_queue_gauges(store)
                 self._execute(store, claim, stats)
         finally:
             store.close()
+            telemetry.flush()
         stats.stopped_by_request = self._stop_requested.is_set()
         return stats
+
+    def _sample_queue_gauges(self, store: JobStore) -> None:
+        """Record queue depth/age gauges from the store's metrics snapshot."""
+        if not telemetry.recording():
+            return
+        metrics = store.queue_metrics()
+        for state, count in metrics["depth"].items():
+            telemetry.gauge("queue.depth", count, state=state)
+        oldest = metrics["oldest_queued_age_seconds"]
+        if oldest is not None:
+            telemetry.gauge("queue.oldest_queued_age_seconds", oldest)
 
     # ------------------------------------------------------------------ #
     def _execute(self, store: JobStore, claim: ClaimedJob, stats: WorkerStats):
@@ -202,6 +221,12 @@ class ServiceWorker:
         # cannot change the result, and they are excluded from run_digest.
         spec.checkpoint_dir = str(job_checkpoint_dir(self._data_dir, claim.digest))
         spec.cache_dir = str(shared_cache_path(self._data_dir))
+        recorder = telemetry.current()
+        if recorder is not None:
+            # Thread the worker's telemetry directory into the run, so the
+            # job's restarts (possibly in pool workers) shard alongside the
+            # service events.  Execution-only, like checkpoint/cache_dir.
+            spec.telemetry_dir = str(recorder.directory)
 
         heartbeat = _Heartbeat(
             self._queue_path, claim.digest, self._worker_id, self._lease_ttl
@@ -210,7 +235,13 @@ class ServiceWorker:
         try:
             from repro.runspec import run
 
-            report = run(spec)
+            with telemetry.span(
+                "service.job",
+                digest=claim.digest,
+                attempt=claim.attempts,
+                reclaimed=claim.reclaimed,
+            ):
+                report = run(spec)
             summary = report.to_dict()
         except IncompleteRunError as error:
             # The run's own FailurePolicy already exhausted its retries;

@@ -1,0 +1,177 @@
+"""Structured tracing and metrics for the whole CAFQA stack.
+
+After eight PRs of orchestrators, caches, campaigns, and a durable service,
+this package is the observability layer: a process-safe event recorder —
+spans, point events, counters, gauges — that every hot layer is
+instrumented against, plus consumers that aggregate the recorded shards
+into human-readable and Prometheus-style summaries
+(``python -m repro.telemetry report <dir>``).
+
+**Off by default, zero overhead.**  Until a recorder is installed, every
+instrumentation site (``telemetry.counter(...)``, ``with
+telemetry.span(...)``) is a global load, a ``None`` check, and a return —
+no I/O, no allocation, no environment lookup.  Recording never alters a
+trajectory: the pinned 8-seed H2 energy is bit-identical with telemetry on
+and off.
+
+**Turning it on.**  Three equivalent doors, in precedence order:
+
+* programmatic: ``telemetry.configure("/path/to/dir")``;
+* per run: ``RunSpec(telemetry_dir=...)`` (execution-only — it does not
+  change ``run_digest``);
+* ambient: export ``REPRO_TELEMETRY_DIR=/path/to/dir`` — inherited by
+  worker processes, so an orchestrated run's restarts and a service
+  fleet's workers all shard into the same directory.
+
+Each recording process appends to its own ``events_<tag>_<pid>.jsonl``
+shard with one ``write(2)`` per complete line, so a SIGKILL at any instant
+leaves no torn lines and a reclaiming worker's events merge cleanly with
+its dead predecessor's (the same crash-safe discipline as
+:class:`~repro.core.evalcache.EvaluationCache`).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from typing import Optional
+
+from repro.telemetry.recorder import (
+    EVENT_FORMAT,
+    NULL_SPAN,
+    TelemetryRecorder,
+    shard_paths,
+)
+
+__all__ = [
+    "TELEMETRY_DIR_ENV",
+    "EVENT_FORMAT",
+    "TelemetryRecorder",
+    "shard_paths",
+    "configure",
+    "init",
+    "shutdown",
+    "current",
+    "recording",
+    "span",
+    "event",
+    "counter",
+    "gauge",
+    "flush",
+]
+
+TELEMETRY_DIR_ENV = "REPRO_TELEMETRY_DIR"
+
+# The process-global recorder.  None means disabled — the state every
+# instrumentation site fast-paths on.  A recorder created before a fork is
+# recognized as foreign by its pid and never written to by the child.
+_ACTIVE: Optional[TelemetryRecorder] = None
+_ATEXIT_REGISTERED = False
+
+
+def _close_at_exit() -> None:
+    recorder = _ACTIVE
+    if recorder is not None and recorder.pid == os.getpid():
+        recorder.close()
+
+
+def configure(directory: os.PathLike, tag: str = "main") -> TelemetryRecorder:
+    """Install (and return) this process's recorder, writing to ``directory``.
+
+    Replaces any previous recorder after flushing it.  Every subsequent
+    ``telemetry.span/event/counter/gauge`` call in this process records to
+    the new directory until :func:`shutdown`.
+    """
+    global _ACTIVE, _ATEXIT_REGISTERED
+    old = _ACTIVE
+    if old is not None and old.pid == os.getpid():
+        old.close()
+    _ACTIVE = TelemetryRecorder(directory, tag=tag)
+    if not _ATEXIT_REGISTERED:
+        atexit.register(_close_at_exit)
+        _ATEXIT_REGISTERED = True
+    return _ACTIVE
+
+
+def init(
+    directory: Optional[os.PathLike] = None, tag: str = "main"
+) -> Optional[TelemetryRecorder]:
+    """Idempotent activation hook for subsystem entry points.
+
+    Resolves a telemetry directory — the explicit argument if given, else
+    ``$REPRO_TELEMETRY_DIR`` — and installs a recorder for it.  With no
+    directory resolved, an already-active recorder is left in place (a
+    nested stage must not turn its caller's telemetry off) and ``None``
+    directories stay a no-op.  A recorder inherited across ``fork`` is
+    replaced by a fresh one owned by this pid, so pool workers shard
+    separately from their parent.
+    """
+    resolved = directory if directory else os.environ.get(TELEMETRY_DIR_ENV)
+    if not resolved:
+        return current()
+    active = _ACTIVE
+    if (
+        active is not None
+        and active.pid == os.getpid()
+        and not active.closed
+        and str(active.directory) == str(resolved)
+    ):
+        return active
+    return configure(resolved, tag=tag)
+
+
+def shutdown() -> None:
+    """Flush and close this process's recorder (telemetry goes back to off)."""
+    global _ACTIVE
+    recorder = _ACTIVE
+    _ACTIVE = None
+    if recorder is not None and recorder.pid == os.getpid():
+        recorder.close()
+
+
+def current() -> Optional[TelemetryRecorder]:
+    """This process's active recorder, or None when disabled."""
+    recorder = _ACTIVE
+    if recorder is None or recorder.closed or recorder.pid != os.getpid():
+        return None
+    return recorder
+
+
+def recording() -> bool:
+    """Whether telemetry is actively recording in this process."""
+    return current() is not None
+
+
+# --------------------------------------------------------------------------- #
+# instrumentation-site helpers: no-ops unless a recorder is installed
+# --------------------------------------------------------------------------- #
+def span(name: str, **attrs):
+    """A timing context manager (the shared no-op singleton when disabled)."""
+    recorder = _ACTIVE
+    if recorder is None or recorder.pid != os.getpid():
+        return NULL_SPAN
+    return recorder.span(name, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    recorder = _ACTIVE
+    if recorder is not None and recorder.pid == os.getpid():
+        recorder.event(name, **attrs)
+
+
+def counter(name: str, value: float = 1, **attrs) -> None:
+    recorder = _ACTIVE
+    if recorder is not None and recorder.pid == os.getpid():
+        recorder.counter(name, value, **attrs)
+
+
+def gauge(name: str, value: float, **attrs) -> None:
+    recorder = _ACTIVE
+    if recorder is not None and recorder.pid == os.getpid():
+        recorder.gauge(name, value, **attrs)
+
+
+def flush() -> None:
+    recorder = _ACTIVE
+    if recorder is not None and recorder.pid == os.getpid():
+        recorder.flush()

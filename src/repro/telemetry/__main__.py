@@ -1,0 +1,68 @@
+"""CLI consumers: ``python -m repro.telemetry report|prom <dir>``.
+
+``report`` aggregates every shard in a telemetry directory into the
+human-readable summary (time in stage, counters, gauges, derived hit-rates
+and per-tenant stats); ``--json`` prints the raw aggregate instead.
+``prom`` writes a Prometheus text-exposition snapshot to stdout or
+``--output`` (point a node-exporter textfile collector at it).
+
+Exit codes: 0 on a non-empty summary, 1 when the directory holds no
+telemetry shards, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.telemetry.report import aggregate, render_prometheus, render_report
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Aggregate recorded telemetry shards into summaries.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser("report", help="human-readable summary")
+    report.add_argument("directory", help="telemetry directory (shard files)")
+    report.add_argument(
+        "--json", action="store_true", help="print the raw aggregate as JSON"
+    )
+
+    prom = commands.add_parser(
+        "prom", help="Prometheus text-exposition snapshot"
+    )
+    prom.add_argument("directory")
+    prom.add_argument(
+        "--output", default=None, help="write to this file instead of stdout"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    directory = Path(args.directory)
+    summary = aggregate(directory)
+    if not summary["shards"]:
+        print(f"no telemetry shards under {directory}", file=sys.stderr)
+        return 1
+    if args.command == "report":
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(render_report(summary), end="")
+        return 0
+    text = render_prometheus(summary)
+    if args.output:
+        Path(args.output).write_text(text)
+    else:
+        print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""The structured event recorder behind :mod:`repro.telemetry`.
+
+A :class:`TelemetryRecorder` appends newline-delimited JSON events to a
+per-process shard file (``events_<tag>_<pid>.jsonl``) inside a telemetry
+directory.  The on-disk discipline is the same one
+:class:`~repro.core.evalcache.EvaluationCache` shards use, hardened one
+step further:
+
+* **one shard per writing process** — concurrent workers never share a
+  file handle, so writers never block each other;
+* **one ``write(2)`` per event** — every event is serialized to a single
+  complete line and written with one syscall on an ``O_APPEND`` descriptor.
+  A SIGKILL can land *between* events but never *inside* one, so a shard
+  never contains a torn line (readers still skip unparseable lines —
+  defence in depth);
+* **events are facts, not state** — shards are append-only and merged at
+  read time by :mod:`repro.telemetry.report`, so a reclaimed worker's
+  events coexist with its dead predecessor's.
+
+Four event kinds cover the stack's needs:
+
+==========  =================================================================
+``span``    a named duration: monotonic start ``t``, ``dur`` seconds, attrs
+``event``   a point-in-time occurrence (retry scheduled, lease reclaimed...)
+``counter`` a monotonically accumulated total, attr-labelled (cache hits...)
+``gauge``   a sampled level (queue depth, oldest queued age)
+==========  =================================================================
+
+Counters are accumulated in memory and emitted as aggregate lines on
+:meth:`~TelemetryRecorder.flush`/:meth:`~TelemetryRecorder.close`, so
+hot-path increments (one per cache lookup) cost a dict update, not a
+syscall.  Spans, events, and gauges are written immediately.
+
+Timestamps are ``time.monotonic`` — the clock every duration in this stack
+is measured on — plus a ``wall`` field (``time.time``) on span/event records
+so reports can anchor a run in human time.  Telemetry never feeds back into
+the search: recording on or off, trajectories are bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+__all__ = ["TelemetryRecorder", "EVENT_FORMAT", "shard_paths"]
+
+EVENT_FORMAT = 1
+
+# Attribute key/value pairs ride in a flat "attrs" object; keys are strings,
+# values any JSON scalar.  The tuple-of-pairs form is the counter dict key.
+_AttrKey = Tuple[Tuple[str, object], ...]
+
+
+def shard_paths(directory: os.PathLike):
+    """Every telemetry shard file under ``directory``, sorted by name."""
+    return sorted(Path(directory).glob("events_*.jsonl"))
+
+
+class _Span:
+    """Context manager measuring one monotonic duration; records on exit.
+
+    Exceptions propagate untouched; the span is still recorded (with an
+    ``error`` attribute naming the exception type) so a crashed stage shows
+    up in the time breakdown instead of vanishing.
+    """
+
+    __slots__ = ("_recorder", "_name", "_attrs", "_start")
+
+    def __init__(self, recorder: "TelemetryRecorder", name: str, attrs: dict):
+        self._recorder = recorder
+        self._name = name
+        self._attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        duration = time.monotonic() - self._start
+        attrs = self._attrs
+        if exc_type is not None:
+            attrs = {**attrs, "error": exc_type.__name__}
+        self._recorder._write_record(
+            {
+                "type": "span",
+                "name": self._name,
+                "t": self._start,
+                "dur": duration,
+                "wall": time.time(),
+                **({"attrs": attrs} if attrs else {}),
+            }
+        )
+
+
+class _NullSpan:
+    """The no-op span returned when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class TelemetryRecorder:
+    """Appends structured events to one per-process shard file.
+
+    The shard is opened lazily on the first write (a recorder that never
+    records leaves no file) with ``O_APPEND``, and every record is a single
+    ``os.write`` of one complete line — the crash-safety contract chaos
+    tests pin.  A recorder belongs to the process that created it; after a
+    ``fork`` the child must open its own (see ``repro.telemetry.init``,
+    which does this by checking the owning pid).
+    """
+
+    def __init__(self, directory: os.PathLike, tag: str = "main"):
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._pid = os.getpid()
+        self._tag = str(tag)
+        self._path = self._directory / f"events_{self._tag}_{self._pid}.jsonl"
+        self._fd: Optional[int] = None
+        self._counters: Dict[Tuple[str, _AttrKey], float] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def pid(self) -> int:
+        return self._pid
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------ #
+    def _write_record(self, payload: dict) -> None:
+        if self._closed:
+            return
+        payload["pid"] = self._pid
+        line = json.dumps(payload, separators=(",", ":"), default=str) + "\n"
+        if self._fd is None:
+            self._fd = os.open(
+                self._path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+            )
+        os.write(self._fd, line.encode())
+
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, **attrs) -> _Span:
+        """A context manager timing one named stage."""
+        return _Span(self, str(name), attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point-in-time occurrence."""
+        self._write_record(
+            {
+                "type": "event",
+                "name": str(name),
+                "t": time.monotonic(),
+                "wall": time.time(),
+                **({"attrs": attrs} if attrs else {}),
+            }
+        )
+
+    def counter(self, name: str, value: float = 1, **attrs) -> None:
+        """Accumulate onto a labelled counter (written on flush/close)."""
+        key = (str(name), tuple(sorted(attrs.items())))
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **attrs) -> None:
+        """Record a sampled level (queue depth, ages, pool sizes...)."""
+        self._write_record(
+            {
+                "type": "gauge",
+                "name": str(name),
+                "t": time.monotonic(),
+                "value": value,
+                **({"attrs": attrs} if attrs else {}),
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        """Emit the accumulated counter totals as one line each.
+
+        Counters are deltas: the report sums every counter line for a name
+        across shards, so flushing twice double-counts nothing.
+        """
+        if self._closed or not self._counters:
+            return
+        pending, self._counters = self._counters, {}
+        for (name, attr_items), value in sorted(pending.items()):
+            self._write_record(
+                {
+                    "type": "counter",
+                    "name": name,
+                    "value": value,
+                    **({"attrs": dict(attr_items)} if attr_items else {}),
+                }
+            )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+            self._fd = None

@@ -1,0 +1,346 @@
+"""Consumers of recorded telemetry: aggregation, reports, Prometheus text.
+
+:func:`aggregate` merges every ``events_*.jsonl`` shard in a telemetry
+directory — whichever process wrote it, alive or SIGKILLed — into one
+summary dict: span statistics, counter totals, gauge levels, event counts,
+and derived headline numbers (cache hit-rate, evaluations per second, retry
+counts, per-tenant job stats).  :func:`render_report` turns that into the
+human-readable text ``python -m repro.telemetry report <dir>`` prints, and
+:func:`render_prometheus` into a Prometheus text-exposition snapshot
+(counters as ``_total``, span sums as ``_seconds_sum``/``_count``, gauges
+verbatim) suitable for a node-exporter textfile collector.
+
+Torn or otherwise unparseable lines are skipped, never fatal, and counted
+in ``skipped_lines`` — the crash-safety chaos test asserts that count is
+zero after a SIGKILL, which the recorder's one-``write``-per-line
+discipline guarantees.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.telemetry.recorder import shard_paths
+
+__all__ = [
+    "iter_events",
+    "aggregate",
+    "render_report",
+    "render_prometheus",
+]
+
+
+def iter_events(directory: os.PathLike) -> Iterator[Tuple[Path, Optional[dict]]]:
+    """Yield ``(shard_path, event_dict)`` pairs; ``None`` for a bad line.
+
+    A line that is not a complete JSON object (torn by a crash, or foreign
+    bytes) yields ``(path, None)`` so callers can count skips without
+    dying on them.
+    """
+    for shard in shard_paths(directory):
+        try:
+            text = shard.read_text()
+        except OSError:
+            continue
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                yield shard, None
+                continue
+            yield shard, payload if isinstance(payload, dict) else None
+
+
+def _label_key(name: str, attrs: Dict[str, object]) -> str:
+    """Canonical ``name{k=v,...}`` key for attr-labelled series."""
+    if not attrs:
+        return name
+    labels = ",".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+    return f"{name}{{{labels}}}"
+
+
+def aggregate(directory: os.PathLike) -> Dict[str, object]:
+    """Merge every shard under ``directory`` into one summary dict."""
+    spans: Dict[str, dict] = {}
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, dict] = {}
+    events: Dict[str, int] = {}
+    pids = set()
+    shards = 0
+    total = 0
+    skipped = 0
+
+    for shard in shard_paths(directory):
+        shards += 1
+    for _, payload in iter_events(directory):
+        if payload is None:
+            skipped += 1
+            continue
+        total += 1
+        kind = payload.get("type")
+        name = payload.get("name")
+        if not isinstance(name, str):
+            skipped += 1
+            continue
+        if "pid" in payload:
+            pids.add(payload["pid"])
+        attrs = payload.get("attrs")
+        attrs = attrs if isinstance(attrs, dict) else {}
+        if kind == "span":
+            try:
+                duration = float(payload["dur"])
+            except (KeyError, TypeError, ValueError):
+                skipped += 1
+                continue
+            stats = spans.setdefault(
+                name, {"count": 0, "total_seconds": 0.0, "max_seconds": 0.0}
+            )
+            stats["count"] += 1
+            stats["total_seconds"] += duration
+            stats["max_seconds"] = max(stats["max_seconds"], duration)
+        elif kind == "counter":
+            try:
+                value = float(payload["value"])
+            except (KeyError, TypeError, ValueError):
+                skipped += 1
+                continue
+            key = _label_key(name, attrs)
+            counters[key] = counters.get(key, 0.0) + value
+        elif kind == "gauge":
+            try:
+                value = float(payload["value"])
+            except (KeyError, TypeError, ValueError):
+                skipped += 1
+                continue
+            key = _label_key(name, attrs)
+            stats = gauges.setdefault(
+                key, {"count": 0, "last": value, "min": value, "max": value}
+            )
+            stats["count"] += 1
+            stats["last"] = value
+            stats["min"] = min(stats["min"], value)
+            stats["max"] = max(stats["max"], value)
+        elif kind == "event":
+            key = _label_key(name, attrs) if name.startswith("service.submit") else name
+            events[key] = events.get(key, 0) + 1
+        else:
+            skipped += 1
+
+    for stats in spans.values():
+        stats["mean_seconds"] = stats["total_seconds"] / max(1, stats["count"])
+
+    summary: Dict[str, object] = {
+        "directory": str(directory),
+        "shards": shards,
+        "pids": len(pids),
+        "events": total,
+        "skipped_lines": skipped,
+        "spans": {name: spans[name] for name in sorted(spans)},
+        "counters": {key: counters[key] for key in sorted(counters)},
+        "gauges": {key: gauges[key] for key in sorted(gauges)},
+        "event_counts": {key: events[key] for key in sorted(events)},
+    }
+    summary["derived"] = _derive(summary)
+    return summary
+
+
+def _counter_total(counters: Dict[str, float], name: str) -> float:
+    """Sum a counter across every label combination."""
+    return sum(
+        value
+        for key, value in counters.items()
+        if key == name or key.startswith(name + "{")
+    )
+
+
+def _derive(summary: Dict[str, object]) -> Dict[str, object]:
+    """Headline numbers computed from the raw aggregates."""
+    counters: Dict[str, float] = summary["counters"]  # type: ignore[assignment]
+    spans: Dict[str, dict] = summary["spans"]  # type: ignore[assignment]
+    events: Dict[str, int] = summary["event_counts"]  # type: ignore[assignment]
+
+    derived: Dict[str, object] = {}
+    hits = _counter_total(counters, "cache.hit")
+    misses = _counter_total(counters, "cache.miss")
+    if hits + misses > 0:
+        derived["cache_hit_rate"] = hits / (hits + misses)
+    evaluations = _counter_total(counters, "search.evaluations")
+    restart_seconds = spans.get("restart", {}).get("total_seconds", 0.0)
+    if evaluations and restart_seconds > 0:
+        derived["evaluations_per_second"] = evaluations / restart_seconds
+    retries = sum(
+        count for name, count in events.items() if name == "restart.retry"
+    )
+    if "restart.retry" in events or "restart.attempt_failed" in events:
+        derived["restart_retries"] = retries
+        derived["restart_attempt_failures"] = events.get("restart.attempt_failed", 0)
+    timeouts = events.get("restart.timeout", 0)
+    if timeouts:
+        derived["restart_timeouts"] = timeouts
+
+    # Per-tenant job stats from service.submit events, which are labelled
+    # with submitter and outcome (created/attached/replayed).
+    tenants: Dict[str, Dict[str, int]] = {}
+    for key, count in events.items():
+        if not key.startswith("service.submit{"):
+            continue
+        labels = dict(
+            part.split("=", 1)
+            for part in key[len("service.submit{"):-1].split(",")
+            if "=" in part
+        )
+        submitter = labels.get("submitter", "?")
+        outcome = labels.get("outcome", "?")
+        row = tenants.setdefault(submitter, {})
+        row[outcome] = row.get(outcome, 0) + count
+    if tenants:
+        derived["tenants"] = {name: tenants[name] for name in sorted(tenants)}
+    return derived
+
+
+# --------------------------------------------------------------------------- #
+# renderers
+# --------------------------------------------------------------------------- #
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_report(summary: Dict[str, object]) -> str:
+    """Human-readable multi-section text for ``report``."""
+    lines: List[str] = []
+    lines.append(f"telemetry report — {summary['directory']}")
+    lines.append(
+        f"{summary['shards']} shard(s), {summary['pids']} process(es), "
+        f"{summary['events']} events, {summary['skipped_lines']} skipped line(s)"
+    )
+
+    spans: Dict[str, dict] = summary["spans"]  # type: ignore[assignment]
+    if spans:
+        lines.append("")
+        lines.append("time in stage (spans)")
+        width = max(len(name) for name in spans)
+        for name, stats in spans.items():
+            lines.append(
+                f"  {name.ljust(width)}  count={stats['count']:<5d} "
+                f"total={stats['total_seconds']:.3f}s "
+                f"mean={stats['mean_seconds']:.4f}s "
+                f"max={stats['max_seconds']:.3f}s"
+            )
+
+    counters: Dict[str, float] = summary["counters"]  # type: ignore[assignment]
+    if counters:
+        lines.append("")
+        lines.append("counters")
+        width = max(len(key) for key in counters)
+        for key, value in counters.items():
+            lines.append(f"  {key.ljust(width)}  {_format_value(value)}")
+
+    gauges: Dict[str, dict] = summary["gauges"]  # type: ignore[assignment]
+    if gauges:
+        lines.append("")
+        lines.append("gauges (last / min / max)")
+        width = max(len(key) for key in gauges)
+        for key, stats in gauges.items():
+            lines.append(
+                f"  {key.ljust(width)}  {_format_value(stats['last'])} / "
+                f"{_format_value(stats['min'])} / {_format_value(stats['max'])}"
+            )
+
+    events: Dict[str, int] = summary["event_counts"]  # type: ignore[assignment]
+    if events:
+        lines.append("")
+        lines.append("events")
+        width = max(len(key) for key in events)
+        for key, count in events.items():
+            lines.append(f"  {key.ljust(width)}  {count}")
+
+    derived: Dict[str, object] = summary["derived"]  # type: ignore[assignment]
+    if derived:
+        lines.append("")
+        lines.append("derived")
+        for key, value in derived.items():
+            if key == "tenants":
+                lines.append("  per-tenant submissions:")
+                for tenant, outcomes in value.items():  # type: ignore[union-attr]
+                    detail = ", ".join(
+                        f"{outcome}={count}"
+                        for outcome, count in sorted(outcomes.items())
+                    )
+                    lines.append(f"    {tenant}: {detail}")
+            else:
+                lines.append(f"  {key} = {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _metric_name(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{cleaned}"
+
+
+def _split_labels(key: str) -> Tuple[str, str]:
+    """``name{k=v,...}`` -> (name, prometheus label block or '')."""
+    if "{" not in key:
+        return key, ""
+    name, _, raw = key.partition("{")
+    pairs = []
+    for part in raw[:-1].split(","):
+        if "=" in part:
+            label, _, value = part.partition("=")
+            escaped = str(value).replace("\\", "\\\\").replace('"', '\\"')
+            pairs.append(f'{label}="{escaped}"')
+    return name, "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render_prometheus(summary: Dict[str, object]) -> str:
+    """Prometheus text exposition of the aggregated summary."""
+    lines: List[str] = []
+
+    counters: Dict[str, float] = summary["counters"]  # type: ignore[assignment]
+    seen_counter_names = set()
+    for key, value in counters.items():
+        name, labels = _split_labels(key)
+        metric = _metric_name(name) + "_total"
+        if metric not in seen_counter_names:
+            lines.append(f"# TYPE {metric} counter")
+            seen_counter_names.add(metric)
+        lines.append(f"{metric}{labels} {_format_value(value)}")
+
+    spans: Dict[str, dict] = summary["spans"]  # type: ignore[assignment]
+    if spans:
+        lines.append("# TYPE repro_span_seconds_sum counter")
+        lines.append("# TYPE repro_span_count counter")
+        for name, stats in spans.items():
+            label = f'{{name="{name}"}}'
+            lines.append(
+                f"repro_span_seconds_sum{label} "
+                f"{_format_value(stats['total_seconds'])}"
+            )
+            lines.append(f"repro_span_count{label} {stats['count']}")
+
+    gauges: Dict[str, dict] = summary["gauges"]  # type: ignore[assignment]
+    seen_gauge_names = set()
+    for key, stats in gauges.items():
+        name, labels = _split_labels(key)
+        metric = _metric_name(name)
+        if metric not in seen_gauge_names:
+            lines.append(f"# TYPE {metric} gauge")
+            seen_gauge_names.add(metric)
+        lines.append(f"{metric}{labels} {_format_value(stats['last'])}")
+
+    events: Dict[str, int] = summary["event_counts"]  # type: ignore[assignment]
+    seen_event_names = set()
+    for key, count in events.items():
+        name, labels = _split_labels(key)
+        metric = _metric_name(name) + "_events_total"
+        if metric not in seen_event_names:
+            lines.append(f"# TYPE {metric} counter")
+            seen_event_names.add(metric)
+        lines.append(f"{metric}{labels} {count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,119 @@
+"""Telemetry chaos: a SIGKILLed recorder must never leave a torn line.
+
+The recorder's crash contract is one ``write(2)`` of one complete JSON line
+per event on an ``O_APPEND`` descriptor — a SIGKILL can land *between*
+events but never *inside* one.  This suite pins that end to end: kill a
+CLI service worker mid-lease while it records telemetry, then assert that
+every line in every shard (the dead worker's included) parses, and that a
+reclaiming worker's events merge cleanly with its dead predecessor's into
+one report.
+
+Excluded from tier-1 (``-m "not chaos"``) like the other chaos suites.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.service import ServiceWorker, open_store
+from repro.telemetry import TELEMETRY_DIR_ENV, shard_paths
+from repro.telemetry.report import aggregate
+
+from tests.test_chaos_service import chain_spec, spawn_cli_worker, wait_until
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry(monkeypatch):
+    monkeypatch.delenv(TELEMETRY_DIR_ENV, raising=False)
+    telemetry.shutdown()
+    yield
+    telemetry.shutdown()
+
+
+class TestSigkillLeavesNoTornLines:
+    def test_killed_worker_shards_parse_and_merge(self, tmp_path, monkeypatch):
+        """Kill a recording worker mid-search; its shards must be whole and
+        the reclaimer's report must aggregate both workers' events."""
+        data = tmp_path / "svc"
+        tdir = tmp_path / "telem"
+        with open_store(data) as store:
+            digest = store.submit(chain_spec(seed=0)).digest
+
+        victim = spawn_cli_worker(
+            data, "victim", lease_ttl=2.0,
+            extra_env={TELEMETRY_DIR_ENV: str(tdir)},
+        )
+        try:
+            with open_store(data) as store:
+                wait_until(
+                    lambda: store.counts()["leased"] >= 1,
+                    timeout=60.0,
+                    message="the victim to claim the job",
+                )
+            # The claim/gauge events are written immediately on claim, so the
+            # victim's shard exists before the kill lands.
+            wait_until(
+                lambda: len(shard_paths(tdir)) >= 1,
+                timeout=30.0,
+                message="the victim's telemetry shard to appear",
+            )
+            time.sleep(0.8)  # mid-search, well inside the ~2.6s job
+            victim.kill()
+            victim.wait(timeout=30.0)
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+
+        # Every line the dead worker managed to write is a complete event.
+        victim_summary = aggregate(tdir)
+        assert victim_summary["skipped_lines"] == 0
+        assert victim_summary["event_counts"].get("service.claim", 0) == 1
+        victim_shards = len(shard_paths(tdir))
+        assert victim_shards >= 1
+
+        # The reclaimer records into the same directory; both workers'
+        # shards merge into one report.
+        monkeypatch.setenv(TELEMETRY_DIR_ENV, str(tdir))
+        stats = ServiceWorker(
+            data, worker_id="survivor", lease_ttl=10.0,
+            poll_interval=0.2, idle_timeout=8.0,
+        ).run()
+        telemetry.shutdown()
+        assert stats.completed == 1
+
+        with open_store(data) as store:
+            assert store.get(digest).state == "done"
+
+        merged = aggregate(tdir)
+        assert merged["skipped_lines"] == 0
+        assert len(shard_paths(tdir)) > victim_shards  # survivor added shards
+        assert merged["pids"] >= 2
+        # Two claims of the same job: the victim's and the reclaim.
+        assert merged["event_counts"]["service.claim"] == 2
+        assert merged["event_counts"]["service.complete"] == 1
+        assert merged["spans"]["service.job"]["count"] == 1  # victim's torn
+        assert merged["gauges"]  # queue gauges sampled on each claim
+
+    def test_report_cli_succeeds_on_post_mortem_directory(
+        self, tmp_path, capsys
+    ):
+        """``report`` over a directory holding a dead worker's shards exits 0
+        even when one shard was hand-torn (foreign truncation, not ours)."""
+        from repro.telemetry.__main__ import main
+
+        tdir = tmp_path / "telem"
+        recorder = telemetry.TelemetryRecorder(tdir, tag="dead")
+        recorder.event("service.claim", worker="dead")
+        recorder.close()
+        # Simulate a foreign writer without our single-write discipline.
+        torn = tdir / "events_foreign_999.jsonl"
+        torn.write_text('{"type":"event","name":"x","t":0.0}\n{"type":"ev')
+
+        assert main(["report", str(tdir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["skipped_lines"] == 1  # only the hand-torn line
+        assert payload["event_counts"]["service.claim"] == 1

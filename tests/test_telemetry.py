@@ -1,0 +1,372 @@
+"""The observability layer: recorder discipline, no-op default, consumers.
+
+Pins the tentpole contracts of ``repro.telemetry``:
+
+* the recorder appends one complete JSON line per event to a per-pid shard,
+  accumulates counters as flush-time deltas, and creates no file until it
+  records something;
+* disabled is the default and a true no-op — module helpers return without
+  touching the filesystem, and a run with telemetry off produces no shards;
+* ``aggregate``/``report``/``prom`` merge every shard (skipping torn lines,
+  never dying on them) into span/counter/gauge/event summaries with derived
+  headline numbers;
+* instrumentation never alters a trajectory: the pinned best-of-8-seeds H2
+  energy is bit-identical with recording on and off, and ``telemetry_dir``
+  is execution-only (excluded from ``run_digest``);
+* the service stack records submit/claim/complete events and queue gauges,
+  and ``python -m repro.service status`` reports queue depth by state plus
+  the oldest queued job's age.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro import telemetry
+from repro.runspec import RunSpec
+from repro.service import ServiceWorker, open_store
+from repro.telemetry import TELEMETRY_DIR_ENV, TelemetryRecorder, shard_paths
+from repro.telemetry.recorder import NULL_SPAN
+from repro.telemetry.report import aggregate, render_prometheus, render_report
+
+from tests.test_runspec import PINNED_H2_8SEED_ENERGY
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry(monkeypatch):
+    """Every test starts (and ends) with telemetry off and no ambient dir."""
+    monkeypatch.delenv(TELEMETRY_DIR_ENV, raising=False)
+    telemetry.shutdown()
+    yield
+    telemetry.shutdown()
+
+
+def _events(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+# --------------------------------------------------------------------------- #
+# the recorder
+# --------------------------------------------------------------------------- #
+class TestRecorder:
+    def test_records_complete_json_lines_per_event_kind(self, tmp_path):
+        recorder = TelemetryRecorder(tmp_path, tag="t")
+        with recorder.span("stage", restart=3):
+            pass
+        recorder.event("retry", attempt=2)
+        recorder.gauge("depth", 5, state="queued")
+        recorder.counter("hits", 2)
+        recorder.counter("hits", 3)
+        recorder.close()
+
+        assert recorder.path.name == f"events_t_{os.getpid()}.jsonl"
+        events = _events(recorder.path)
+        kinds = [event["type"] for event in events]
+        assert kinds == ["span", "event", "gauge", "counter"]
+        span, event, gauge, counter = events
+        assert span["name"] == "stage" and span["attrs"] == {"restart": 3}
+        assert span["dur"] >= 0 and "wall" in span
+        assert event["attrs"] == {"attempt": 2}
+        assert gauge["value"] == 5 and gauge["attrs"] == {"state": "queued"}
+        # the two increments accumulated into one flushed delta line
+        assert counter["name"] == "hits" and counter["value"] == 5
+        assert all(event["pid"] == os.getpid() for event in events)
+
+    def test_no_file_until_something_is_recorded(self, tmp_path):
+        recorder = TelemetryRecorder(tmp_path)
+        assert not recorder.path.exists()
+        recorder.close()
+        assert not recorder.path.exists()
+
+    def test_counter_flushes_are_deltas_not_totals(self, tmp_path):
+        recorder = TelemetryRecorder(tmp_path)
+        recorder.counter("n", 1)
+        recorder.flush()
+        recorder.counter("n", 2)
+        recorder.flush()
+        recorder.flush()  # idle flush emits nothing
+        recorder.close()
+        lines = _events(recorder.path)
+        assert [line["value"] for line in lines] == [1, 2]
+        assert aggregate(tmp_path)["counters"]["n"] == 3
+
+    def test_span_survives_exceptions_and_tags_the_error(self, tmp_path):
+        recorder = TelemetryRecorder(tmp_path)
+        with pytest.raises(ValueError):
+            with recorder.span("doomed"):
+                raise ValueError("boom")
+        recorder.close()
+        (span,) = _events(recorder.path)
+        assert span["attrs"]["error"] == "ValueError"
+
+
+# --------------------------------------------------------------------------- #
+# module lifecycle: off by default, idempotent activation
+# --------------------------------------------------------------------------- #
+class TestLifecycle:
+    def test_disabled_helpers_are_noops(self, tmp_path):
+        assert telemetry.current() is None
+        assert not telemetry.recording()
+        assert telemetry.span("x") is NULL_SPAN
+        telemetry.event("x")
+        telemetry.counter("x")
+        telemetry.gauge("x", 1)
+        telemetry.flush()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_init_without_a_directory_stays_off(self):
+        assert telemetry.init() is None
+        assert not telemetry.recording()
+
+    def test_init_resolves_the_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TELEMETRY_DIR_ENV, str(tmp_path))
+        recorder = telemetry.init()
+        assert recorder is not None and telemetry.recording()
+        assert recorder.directory == tmp_path
+
+    def test_init_reuses_the_same_directory_recorder(self, tmp_path):
+        first = telemetry.init(tmp_path)
+        assert telemetry.init(tmp_path) is first
+        # a nested stage with no directory must not deactivate its caller
+        assert telemetry.init() is first
+
+    def test_shutdown_turns_recording_back_off(self, tmp_path):
+        telemetry.init(tmp_path)
+        telemetry.event("before")
+        telemetry.shutdown()
+        assert not telemetry.recording()
+        telemetry.event("after")  # no-op, not an error
+        events = [
+            payload["name"]
+            for shard in shard_paths(tmp_path)
+            for payload in _events(shard)
+        ]
+        assert events == ["before"]
+
+
+# --------------------------------------------------------------------------- #
+# consumers: aggregate, report, prometheus, CLI
+# --------------------------------------------------------------------------- #
+class TestConsumers:
+    def _write_shards(self, tmp_path):
+        recorder = TelemetryRecorder(tmp_path, tag="a")
+        with recorder.span("restart"):
+            pass
+        recorder.counter("cache.hit", 3, backend="jsonl")
+        recorder.counter("cache.miss", 1, backend="jsonl")
+        recorder.gauge("queue.depth", 4, state="queued")
+        recorder.event("service.submit", submitter="alice", outcome="created")
+        recorder.close()
+
+    def test_aggregate_merges_and_skips_torn_lines(self, tmp_path):
+        self._write_shards(tmp_path)
+        # a shard torn mid-line by a SIGKILLed writer
+        (tmp_path / "events_dead_1.jsonl").write_text(
+            '{"type":"event","name":"ok","t":1}\n{"type":"span","na'
+        )
+        summary = aggregate(tmp_path)
+        assert summary["shards"] == 2
+        assert summary["skipped_lines"] == 1
+        assert summary["spans"]["restart"]["count"] == 1
+        assert summary["counters"]["cache.hit{backend=jsonl}"] == 3
+        assert summary["gauges"]["queue.depth{state=queued}"]["last"] == 4
+        assert summary["event_counts"]["ok"] == 1
+        assert summary["derived"]["cache_hit_rate"] == 0.75
+        assert summary["derived"]["tenants"] == {"alice": {"created": 1}}
+
+    def test_renderers_cover_every_section(self, tmp_path):
+        self._write_shards(tmp_path)
+        summary = aggregate(tmp_path)
+        text = render_report(summary)
+        for needle in (
+            "time in stage (spans)",
+            "counters",
+            "gauges (last / min / max)",
+            "cache_hit_rate",
+            "alice: created=1",
+        ):
+            assert needle in text
+        prom = render_prometheus(summary)
+        assert "# TYPE repro_cache_hit_total counter" in prom
+        assert 'repro_cache_hit_total{backend="jsonl"} 3' in prom
+        assert 'repro_queue_depth{state="queued"} 4' in prom
+        assert 'repro_span_seconds_sum{name="restart"}' in prom
+
+    def test_cli_report_and_prom_round_trip(self, tmp_path, capsys):
+        from repro.telemetry.__main__ import main
+
+        assert main(["report", str(tmp_path)]) == 1  # nothing recorded yet
+        capsys.readouterr()
+        self._write_shards(tmp_path)
+        assert main(["report", str(tmp_path)]) == 0
+        assert "telemetry report" in capsys.readouterr().out
+        assert main(["report", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["cache.hit{backend=jsonl}"] == 3
+        output = tmp_path / "metrics.prom"
+        assert main(["prom", str(tmp_path), "--output", str(output)]) == 0
+        assert "repro_cache_hit_total" in output.read_text()
+
+
+# --------------------------------------------------------------------------- #
+# instrumented runs: recording never alters the trajectory
+# --------------------------------------------------------------------------- #
+class TestInstrumentedRuns:
+    def _spec(self, tmp_path, **overrides):
+        options = dict(
+            problem="ising_chain",
+            problem_options={"num_sites": 4},
+            max_evaluations=40,
+            num_seeds=2,
+            seed=5,
+            max_workers=1,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        options.update(overrides)
+        return RunSpec(**options)
+
+    def test_telemetry_dir_is_execution_only(self, tmp_path):
+        plain = self._spec(tmp_path)
+        recorded = self._spec(tmp_path, telemetry_dir=str(tmp_path / "telem"))
+        assert plain.run_digest() == recorded.run_digest()
+        restored = RunSpec.from_json(recorded.to_json())
+        assert restored.telemetry_dir == recorded.telemetry_dir
+
+    def test_run_records_spans_and_cache_counters(self, tmp_path):
+        tdir = tmp_path / "telem"
+        report = repro.run(self._spec(tmp_path, telemetry_dir=str(tdir)))
+        summary = report.telemetry_summary
+        assert summary is not None and summary["shards"] >= 1
+        assert summary["spans"]["restart"]["count"] == 2
+        assert summary["spans"]["orchestrator.run"]["count"] == 1
+        assert summary["counters"]["cache.miss{backend=jsonl}"] > 0
+        assert summary["counters"]["search.evaluations"] > 0
+        assert "telemetry_summary" in report.to_dict()
+
+    def test_run_with_telemetry_off_leaves_no_trace(self, tmp_path):
+        report = repro.run(self._spec(tmp_path))
+        assert report.telemetry_summary is None
+        assert "telemetry_summary" not in report.to_dict()
+        assert shard_paths(tmp_path) == []
+
+    def test_recording_is_bit_identical_including_pool_workers(
+        self, tmp_path, monkeypatch
+    ):
+        baseline = repro.run(self._spec(tmp_path / "off", max_workers=2))
+        telemetry.shutdown()
+        monkeypatch.setenv(TELEMETRY_DIR_ENV, str(tmp_path / "telem"))
+        recorded = repro.run(self._spec(tmp_path / "on", max_workers=2))
+        assert recorded.energy == baseline.energy
+        assert recorded.best_indices == baseline.best_indices
+        # pool workers sharded separately and merged at read time
+        assert recorded.telemetry_summary["pids"] >= 2
+        assert recorded.telemetry_summary["spans"]["restart"]["count"] == 2
+
+    def test_pinned_8_seed_h2_energy_with_recording_on(
+        self, tmp_path, monkeypatch
+    ):
+        """Acceptance pin: the paper-style orchestrated H2 search records a
+        non-empty telemetry summary while reproducing the PR-2 energy
+        bit-for-bit."""
+        monkeypatch.setenv(TELEMETRY_DIR_ENV, str(tmp_path / "telem"))
+        spec = RunSpec(
+            problem="H2",
+            problem_options={"bond_length": 2.5},
+            ansatz_reps=2,
+            max_evaluations=400,
+            num_seeds=8,
+            seed=0,
+            cache_dir=str(tmp_path / "cache"),
+        )
+        report = repro.run(spec)
+        assert report.energy == PINNED_H2_8SEED_ENERGY
+        summary = report.telemetry_summary
+        assert summary["spans"]["restart"]["count"] == 8
+        assert summary["counters"]["cache.miss{backend=jsonl}"] > 0
+        assert summary["derived"]["evaluations_per_second"] > 0
+
+    def test_sweep_report_carries_a_telemetry_summary(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(TELEMETRY_DIR_ENV, str(tmp_path / "telem"))
+        sweep = repro.SweepSpec(
+            base={
+                "problem": "ising_chain",
+                "problem_options": {"num_sites": 4},
+                "max_evaluations": 30,
+                "num_seeds": 1,
+                "seed": 2,
+            },
+            axes={"problem_options.num_sites": [3, 4]},
+        )
+        report = repro.run_sweep(sweep)
+        summary = report.telemetry_summary
+        assert summary is not None
+        assert summary["spans"]["campaign.point"]["count"] == 2
+        assert "telemetry_summary" in report.to_dict()
+
+
+# --------------------------------------------------------------------------- #
+# the service: lifecycle events, queue gauges, status CLI
+# --------------------------------------------------------------------------- #
+class TestServiceTelemetry:
+    def _submit(self, data, **overrides):
+        options = dict(
+            problem="ising_chain",
+            problem_options={"num_sites": 4},
+            max_evaluations=30,
+            num_seeds=1,
+            seed=3,
+        )
+        options.update(overrides)
+        spec = RunSpec(**options)
+        with open_store(data) as store:
+            receipt = store.submit(spec, submitter="alice")
+            store.submit(spec, submitter="bob")
+        return receipt
+
+    def test_round_trip_records_events_and_gauges(self, tmp_path, monkeypatch):
+        tdir = tmp_path / "telem"
+        monkeypatch.setenv(TELEMETRY_DIR_ENV, str(tdir))
+        data = tmp_path / "svc"
+        receipt = self._submit(data)
+        stats = ServiceWorker(data, max_jobs=1).run()
+        assert stats.completed == 1
+        with open_store(data) as store:
+            summary = store.result(receipt.digest)
+        assert summary is not None
+        telemetry.shutdown()  # flush the CLI-handle counters before reading
+
+        recorded = aggregate(tdir)
+        events = recorded["event_counts"]
+        assert events["service.claim"] == 1
+        assert events["service.complete"] == 1
+        assert events["service.submit{outcome=created,submitter=alice}"] == 1
+        assert events["service.submit{outcome=attached,submitter=bob}"] == 1
+        assert recorded["gauges"]["queue.depth{state=queued}"]["last"] == 0
+        assert recorded["spans"]["service.job"]["count"] == 1
+        assert recorded["derived"]["tenants"] == {
+            "alice": {"created": 1},
+            "bob": {"attached": 1},
+        }
+
+    def test_queue_metrics_depth_and_oldest_age(self, tmp_path):
+        data = tmp_path / "svc"
+        self._submit(data)
+        with open_store(data) as store:
+            metrics = store.queue_metrics()
+        assert metrics["depth"]["queued"] == 1
+        assert metrics["oldest_queued_age_seconds"] >= 0.0
+
+    def test_status_cli_reports_the_queue_block(self, tmp_path, capsys):
+        from repro.service.__main__ import main
+
+        data = tmp_path / "svc"
+        self._submit(data)
+        assert main(["status", "--data", str(data)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queue"]["depth"]["queued"] == 1
+        assert payload["queue"]["depth"]["done"] == 0
+        assert payload["queue"]["oldest_queued_age_seconds"] >= 0.0
