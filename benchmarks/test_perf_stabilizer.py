@@ -1,18 +1,24 @@
-"""Perf benchmark: seed-style per-point loop vs the batched stabilizer engine.
+"""Perf benchmarks for the stabilizer engine, written to ``BENCH_stabilizer.json``.
 
-Times the CAFQA hot path — one constrained-objective evaluation per candidate
-Clifford point — two ways at n in {4, 8, 12} qubits:
+Four sections, each a test below (all skipped unless ``REPRO_BENCH=1``):
 
-* ``single``: the seed pipeline (rebuild the bound ``QuantumCircuit``, run it
-  gate by gate on one tableau, evaluate the Pauli sum for that point), and
-* ``batched``: the compiled pipeline (one precompiled gate program, one
-  ``BatchedCliffordTableau`` evolving every candidate together, one vectorized
-  Pauli-sum kernel call for the whole batch).
+* ``results`` — the original hot-path comparison: seed-style per-point loop
+  (rebuild the bound ``QuantumCircuit``, one tableau at a time) vs the
+  compiled batched pipeline, at n in {4, 8, 12};
+* ``grouped`` — the commuting-group refactor's gate: term-throughput of the
+  grouped kernel (one shared tableau pass per qubit-wise commuting group)
+  vs the dense per-term kernel on structured Hamiltonians, asserting the
+  grouped path is at least 1.5x at n=12;
+* ``large_n`` — 50/70/100-qubit Ising/XXZ/MaxCut evaluation throughput
+  (grouped vs dense, multi-word packed rows), the regime where no
+  statevector can follow;
+* ``tableau_bandwidth`` — a memory-bandwidth profile of
+  ``BatchedCliffordTableau`` gate application at those sizes.
 
-Writes ``BENCH_stabilizer.json`` at the repo root with points/sec for both
-paths so future PRs have a perf trajectory.  Skipped unless ``REPRO_BENCH=1``
-(it is a timing run, not a correctness gate; correctness is covered by
-``tests/test_batched_stabilizer.py``).
+Each test merges its section into the JSON so a full ``REPRO_BENCH=1`` run
+refreshes the whole file.  Timing only — correctness is covered by
+``tests/test_batched_stabilizer.py``, ``tests/test_grouped_expectation.py``,
+and ``tests/test_large_n.py``.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ import pytest
 from repro.circuits import CliffordGateProgram, EfficientSU2Ansatz
 from repro.circuits.clifford_points import bind_clifford_point
 from repro.operators import PauliSum, random_pauli
+from repro.problems import ising_chain, maxcut_ring, xxz_chain
 from repro.stabilizer import (
     BatchedCliffordTableau,
     PauliSumEvaluator,
@@ -40,8 +47,22 @@ pytestmark = pytest.mark.skipif(
 )
 
 QUBIT_COUNTS = (4, 8, 12)
+LARGE_QUBIT_COUNTS = (50, 70, 100)
 BATCH_SIZE = 256
+LARGE_BATCH_SIZE = 64
 OUTPUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_stabilizer.json"
+
+
+def _update_output(section: str | None, payload) -> None:
+    """Merge one section into ``BENCH_stabilizer.json`` (top level if None)."""
+    data = {}
+    if OUTPUT_PATH.exists():
+        data = json.loads(OUTPUT_PATH.read_text())
+    if section is None:
+        data.update(payload)
+    else:
+        data[section] = payload
+    OUTPUT_PATH.write_text(json.dumps(data, indent=2) + "\n")
 
 
 def _random_hamiltonian(num_qubits: int, num_terms: int, rng) -> PauliSum:
@@ -50,6 +71,43 @@ def _random_hamiltonian(num_qubits: int, num_terms: int, rng) -> PauliSum:
         label = random_pauli(num_qubits, rng).label
         terms.setdefault(label, float(rng.normal()))
     return PauliSum(terms)
+
+
+def _all_pairs_heisenberg(num_qubits: int) -> PauliSum:
+    """Distance-weighted Heisenberg couplings on every qubit pair.
+
+    A structured workload with O(n^2) terms but only 3 qubit-wise commuting
+    groups (all-XX, all-YY, all-ZZ) — the shape the grouped kernel targets.
+    """
+    terms = {}
+    for i in range(num_qubits):
+        for j in range(i + 1, num_qubits):
+            for axis in "XYZ":
+                label = ["I"] * num_qubits
+                label[num_qubits - 1 - i] = axis
+                label[num_qubits - 1 - j] = axis
+                terms["".join(label)] = 1.0 / (1 + j - i)
+    return PauliSum(terms)
+
+
+def _scrambled_states(num_qubits: int, batch: int, seed: int, depth: int = 3):
+    """Deterministic per-element random stabilizer states via masked gates."""
+    rng = np.random.default_rng(seed)
+    states = BatchedCliffordTableau(batch, num_qubits)
+    for _ in range(depth):
+        for qubit in range(num_qubits):
+            mask = rng.random(batch) < 0.5
+            if mask.any():
+                states.apply_h(qubit, mask=mask)
+            mask = rng.random(batch) < 0.5
+            if mask.any():
+                states.apply_s(qubit, mask=mask)
+        order = rng.permutation(num_qubits)
+        for control, target in zip(order[::2], order[1::2]):
+            mask = rng.random(batch) < 0.5
+            if mask.any():
+                states.apply_cx(int(control), int(target), mask=mask)
+    return states
 
 
 def _measure(fn, min_seconds: float = 0.3) -> float:
@@ -123,17 +181,153 @@ def test_single_vs_batched_objective_throughput():
             f"batched {batched_pps:,.0f} pts/s, speedup {speedup:.1f}x"
         )
 
-    OUTPUT_PATH.write_text(
-        json.dumps(
-            {
-                "benchmark": "stabilizer_objective_throughput",
-                "batch_size": BATCH_SIZE,
-                "results": results,
-            },
-            indent=2,
-        )
-        + "\n"
+    _update_output(
+        None,
+        {
+            "benchmark": "stabilizer_objective_throughput",
+            "batch_size": BATCH_SIZE,
+            "results": results,
+        },
     )
 
     at_12 = next(row for row in results if row["num_qubits"] == 12)
     assert at_12["speedup"] >= 10.0
+
+
+def test_grouped_vs_ungrouped_term_throughput():
+    """Perf gate: the grouped kernel must beat the dense one >= 1.5x at n=12.
+
+    Measured as term-throughput (batch * terms / second) of
+    ``expectation_batch`` over prebuilt tableaux, so only the expectation
+    kernels are compared.  Structured Hamiltonians only: random Pauli sums
+    barely group (and the auto heuristic correctly leaves them dense).
+    """
+    rng = np.random.default_rng(99)
+    results = []
+    gated_ratio = None
+    for num_qubits in QUBIT_COUNTS:
+        ansatz = EfficientSU2Ansatz(num_qubits, reps=2)
+        program = CliffordGateProgram.from_ansatz(ansatz)
+        indices = rng.integers(0, 4, size=(BATCH_SIZE, ansatz.num_parameters))
+        states = BatchedCliffordTableau.from_program(program, indices)
+        for name, hamiltonian in (
+            ("xxz_chain", xxz_chain(num_sites=num_qubits).hamiltonian),
+            ("heisenberg_all_pairs", _all_pairs_heisenberg(num_qubits)),
+        ):
+            grouped = PauliSumEvaluator(hamiltonian, grouped=True)
+            dense = PauliSumEvaluator(hamiltonian, grouped=False)
+            # Both kernels must agree bit-for-bit before being timed.
+            assert np.array_equal(
+                grouped.term_expectations_batch(states),
+                dense.term_expectations_batch(states),
+            )
+            grouped_seconds = _measure(lambda: grouped.expectation_batch(states))
+            dense_seconds = _measure(lambda: dense.expectation_batch(states))
+            term_rate = BATCH_SIZE * grouped.num_terms
+            ratio = dense_seconds / grouped_seconds
+            results.append(
+                {
+                    "num_qubits": num_qubits,
+                    "hamiltonian": name,
+                    "num_terms": grouped.num_terms,
+                    "num_groups": grouped.num_groups,
+                    "grouped_terms_per_sec": round(term_rate / grouped_seconds, 2),
+                    "dense_terms_per_sec": round(term_rate / dense_seconds, 2),
+                    "grouped_over_dense": round(ratio, 2),
+                }
+            )
+            print(
+                f"n={num_qubits} {name}: T={grouped.num_terms} "
+                f"G={grouped.num_groups} grouped/dense {ratio:.2f}x"
+            )
+            if num_qubits == 12 and name == "heisenberg_all_pairs":
+                gated_ratio = ratio
+
+    _update_output("grouped", {"batch_size": BATCH_SIZE, "results": results})
+    assert gated_ratio is not None and gated_ratio >= 1.5
+
+
+def test_large_n_throughput():
+    """50/70/100-qubit Ising/XXZ/MaxCut evaluation throughput entries."""
+    results = []
+    for num_qubits in LARGE_QUBIT_COUNTS:
+        states = _scrambled_states(num_qubits, LARGE_BATCH_SIZE, seed=num_qubits)
+        for name, problem in (
+            ("ising_chain", ising_chain(num_sites=num_qubits)),
+            ("xxz_chain", xxz_chain(num_sites=num_qubits)),
+            ("maxcut_ring", maxcut_ring(num_vertices=num_qubits)),
+        ):
+            hamiltonian = problem.hamiltonian
+            grouped = PauliSumEvaluator(hamiltonian, grouped=True)
+            dense = PauliSumEvaluator(hamiltonian, grouped=False)
+            assert np.array_equal(
+                grouped.expectation_batch(states), dense.expectation_batch(states)
+            )
+            grouped_seconds = _measure(lambda: grouped.expectation_batch(states))
+            dense_seconds = _measure(lambda: dense.expectation_batch(states))
+            results.append(
+                {
+                    "num_qubits": num_qubits,
+                    "problem": name,
+                    "num_terms": grouped.num_terms,
+                    "num_groups": grouped.num_groups,
+                    "grouped_points_per_sec": round(
+                        LARGE_BATCH_SIZE / grouped_seconds, 2
+                    ),
+                    "dense_points_per_sec": round(LARGE_BATCH_SIZE / dense_seconds, 2),
+                    "grouped_over_dense": round(dense_seconds / grouped_seconds, 2),
+                }
+            )
+            print(
+                f"n={num_qubits} {name}: grouped "
+                f"{LARGE_BATCH_SIZE / grouped_seconds:,.0f} pts/s "
+                f"({dense_seconds / grouped_seconds:.2f}x over dense)"
+            )
+    _update_output("large_n", {"batch_size": LARGE_BATCH_SIZE, "results": results})
+
+
+def test_tableau_memory_bandwidth():
+    """Memory-bandwidth profile of ``BatchedCliffordTableau`` at 50-100 qubits.
+
+    Every gate reads and rewrites one uint64 word-column of the ``(B, 2n, W)``
+    x and z blocks plus the sign column, so the effective traffic per gate is
+    ~``B * 2n * (4 * 8 + 2)`` bytes for H (2 reads + 2 writes of 8-byte words
+    plus the bool signs) and ~``B * 2n * (6 * 8 + 2)`` for CX.  Reported GB/s
+    make bandwidth cliffs between sizes visible across PRs.
+    """
+    results = []
+    for num_qubits in LARGE_QUBIT_COUNTS:
+        states = BatchedCliffordTableau(BATCH_SIZE, num_qubits)
+        rows = 2 * num_qubits
+
+        def apply_h_layer():
+            for qubit in range(num_qubits):
+                states.apply_h(qubit)
+
+        def apply_cx_layer():
+            for qubit in range(num_qubits - 1):
+                states.apply_cx(qubit, qubit + 1)
+
+        h_seconds = _measure(apply_h_layer)
+        cx_seconds = _measure(apply_cx_layer)
+        h_rate = num_qubits / h_seconds
+        cx_rate = (num_qubits - 1) / cx_seconds
+        h_bytes = BATCH_SIZE * rows * (4 * 8 + 2)
+        cx_bytes = BATCH_SIZE * rows * (6 * 8 + 2)
+        results.append(
+            {
+                "num_qubits": num_qubits,
+                "batch_size": BATCH_SIZE,
+                "words_per_row": states.num_words,
+                "h_gates_per_sec": round(h_rate, 2),
+                "cx_gates_per_sec": round(cx_rate, 2),
+                "h_gbytes_per_sec": round(h_rate * h_bytes / 1e9, 3),
+                "cx_gbytes_per_sec": round(cx_rate * cx_bytes / 1e9, 3),
+            }
+        )
+        print(
+            f"n={num_qubits}: H {h_rate:,.0f} gates/s "
+            f"({h_rate * h_bytes / 1e9:.2f} GB/s), "
+            f"CX {cx_rate:,.0f} gates/s ({cx_rate * cx_bytes / 1e9:.2f} GB/s)"
+        )
+    _update_output("tableau_bandwidth", {"results": results})

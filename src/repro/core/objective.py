@@ -43,6 +43,26 @@ from repro.stabilizer.tableau import BatchedCliffordTableau, CliffordTableau
 Point = Tuple[int, ...]
 
 
+def _identical_operators(left: PauliSum, right: PauliSum) -> bool:
+    """Exact content equality: same labels, bit-identical coefficients.
+
+    Deliberately stricter than ``PauliSum.__eq__`` (which tolerates 1e-9
+    coefficient differences): evaluators may only be shared when the two
+    operators are guaranteed to produce bit-identical energies.
+    """
+    if left is right:
+        return True
+    if left.num_qubits != right.num_qubits:
+        return False
+    labels = left.labels
+    if labels != right.labels:
+        return False
+    return all(
+        complex(left.coefficient(label)) == complex(right.coefficient(label))
+        for label in labels
+    )
+
+
 class CliffordObjective:
     """Constrained stabilizer-state energy as a function of Clifford indices.
 
@@ -88,7 +108,17 @@ class CliffordObjective:
         )
         self._program = CliffordGateProgram.from_ansatz(ansatz)
         self._operator_evaluator = PauliSumEvaluator(self._operator)
-        self._energy_evaluator = PauliSumEvaluator(problem.hamiltonian)
+        # Constraint-free objectives (every registry spin/graph problem, and
+        # any explicit constraint=() call) end up with a constrained operator
+        # identical to the bare Hamiltonian — share one compiled evaluator
+        # instead of packing and grouping the same terms twice.  Equality must
+        # be *exact* (same labels, exactly equal coefficients): tolerance
+        # equality could alias two operators whose energies differ at the
+        # 1e-10 level and silently move pinned trajectories.
+        if _identical_operators(self._operator, problem.hamiltonian):
+            self._energy_evaluator = self._operator_evaluator
+        else:
+            self._energy_evaluator = PauliSumEvaluator(problem.hamiltonian)
         self._cache: Optional[Dict[Point, float]] = {} if cache else None
         self._tableaux: Optional[Dict[Point, CliffordTableau]] = {} if cache else None
         self._evaluations = 0

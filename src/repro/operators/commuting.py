@@ -1,18 +1,242 @@
-"""Grouping of Pauli terms into commuting families.
+"""Grouping of Pauli terms into commuting families, compiled for evaluation.
 
 CAFQA evaluates every Pauli term of the Hamiltonian with a single stabilizer
 "shot" (the expectation is exactly +1, -1 or 0), but real-device VQE groups
-qubit-wise commuting terms so they can share measurement settings.  The
-grouping below uses greedy graph colouring of the non-commutation graph and
-is shared by the measurement-cost analysis in the benchmarks.
+qubit-wise commuting terms so they can share measurement settings — and the
+same partition is what lets the stabilizer engine share one tableau pass per
+*group* instead of per term (see
+:func:`repro.stabilizer.symplectic.stabilizer_group_expectations`).
+
+The grouping pass here is greedy first-fit over the non-commutation graph,
+vectorized and deterministic:
+
+* terms are visited in a stable order (descending coefficient magnitude,
+  ties broken by the canonical label order of :class:`PauliSum`), so the
+  partition is a pure function of the operator — reordering the terms at
+  construction time cannot change it;
+* qubit-wise compatibility is tested bit-packed against each group's
+  *representative* (the union of its members' single-qubit factors, which
+  for qubit-wise commuting groups is well defined and equivalent to testing
+  every member) — one word-wise pass over all groups per term;
+* general (symplectic) commutation falls back to testing every placed
+  member, vectorized over the whole placed set.
+
+:func:`compile_commuting_groups` returns the packed
+:class:`CommutingGroups` structure that
+:class:`~repro.stabilizer.expectation.PauliSumEvaluator` compiles once at
+construction; :func:`group_commuting_terms` keeps the historic
+list-of-term-lists API used by the measurement-cost analysis.  Grouping is
+an evaluation-time concern only: it never participates in operator
+fingerprints or cache digests
+(:func:`repro.operators.fingerprints.hamiltonian_fingerprint`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from dataclasses import dataclass
+from typing import List, Tuple
 
-from repro.operators.pauli import Pauli
+import numpy as np
+
 from repro.operators.pauli_sum import PauliSum, PauliTerm
+
+_WORD_BITS = 64
+
+
+def label_bit_matrix(labels, num_qubits: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Boolean symplectic matrices of Pauli labels: ``(T, n)`` x and z bits.
+
+    Column ``q`` is qubit ``q`` (labels are written highest qubit first),
+    matching the layout the stabilizer kernels pack from.
+    """
+    if not len(labels):
+        empty = np.zeros((0, num_qubits), dtype=bool)
+        return empty, empty.copy()
+    chars = np.array([list(label) for label in labels])[:, ::-1]
+    x_bits = (chars == "X") | (chars == "Y")
+    z_bits = (chars == "Z") | (chars == "Y")
+    return x_bits, z_bits
+
+
+def _pack_words(bits: np.ndarray) -> np.ndarray:
+    """``(..., n)`` bool -> ``(..., ceil(n/64))`` uint64, little-endian per row.
+
+    Same layout as :func:`repro.stabilizer.symplectic.pack_bits`, duplicated
+    here so the operator layer stays a leaf (no stabilizer import).
+    """
+    bits = np.asarray(bits, dtype=bool)
+    words = (bits.shape[-1] + _WORD_BITS - 1) // _WORD_BITS
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    pad = words * (_WORD_BITS // 8) - packed.shape[-1]
+    if pad:
+        padding = np.zeros(bits.shape[:-1] + (pad,), dtype=np.uint8)
+        packed = np.concatenate([packed, padding], axis=-1)
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+@dataclass(frozen=True)
+class CommutingGroups:
+    """A compiled partition of an operator's terms into commuting groups.
+
+    Everything is aligned with ``labels`` (the operator's canonical sorted
+    label order): ``group_ids[t]`` is the group of term ``t`` and
+    ``x_bits``/``z_bits`` are its symplectic rows.  ``rep_x``/``rep_z`` are
+    the per-group representatives (union of member factors); for qubit-wise
+    groups every member equals the representative masked to the member's
+    support, which is the identity the grouped expectation kernel relies on.
+    """
+
+    num_qubits: int
+    qubitwise: bool
+    labels: Tuple[str, ...]
+    group_ids: np.ndarray  # (T,) int64, group index per term in label order
+    num_groups: int
+    x_bits: np.ndarray  # (T, n) bool
+    z_bits: np.ndarray  # (T, n) bool
+    rep_x: np.ndarray  # (G, n) bool
+    rep_z: np.ndarray  # (G, n) bool
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.labels)
+
+    def term_indices(self, group: int) -> np.ndarray:
+        """Positions (in label order) of the terms belonging to ``group``."""
+        return np.flatnonzero(self.group_ids == group)
+
+    def group_sizes(self) -> np.ndarray:
+        """Number of terms in each group: ``(G,)`` int64."""
+        if self.num_groups == 0:
+            return np.zeros(0, dtype=np.int64)
+        return np.bincount(self.group_ids, minlength=self.num_groups).astype(np.int64)
+
+
+def _greedy_order(coefficients: np.ndarray) -> np.ndarray:
+    """Stable visiting order: descending |coefficient|, label-order ties.
+
+    The input is already in canonical label order, so a stable sort on the
+    magnitude alone reproduces the historic ``sorted(key=-abs(c))`` pass
+    exactly, independent of how the caller originally listed the terms.
+    """
+    return np.argsort(-np.abs(coefficients), kind="stable")
+
+
+def compile_commuting_groups(
+    hamiltonian: PauliSum, qubitwise: bool = True
+) -> CommutingGroups:
+    """Partition ``hamiltonian`` into commuting groups, greedily and packed.
+
+    Deterministic: the partition depends only on the operator's (label,
+    coefficient) content, never on construction order.
+    """
+    labels = hamiltonian.labels
+    num_qubits = hamiltonian.num_qubits
+    coefficients = np.array(
+        [hamiltonian.coefficient(label) for label in labels], dtype=complex
+    )
+    x_bits, z_bits = label_bit_matrix(labels, num_qubits)
+    num_terms = len(labels)
+    order = _greedy_order(coefficients)
+    group_ids = np.zeros(num_terms, dtype=np.int64)
+
+    if qubitwise:
+        num_groups, rep_x_bits, rep_z_bits = _greedy_qubitwise(
+            x_bits, z_bits, order, group_ids
+        )
+    else:
+        num_groups = _greedy_general(x_bits, z_bits, order, group_ids)
+        rep_x_bits = np.zeros((num_groups, num_qubits), dtype=bool)
+        rep_z_bits = np.zeros((num_groups, num_qubits), dtype=bool)
+        np.logical_or.at(rep_x_bits, group_ids, x_bits)
+        np.logical_or.at(rep_z_bits, group_ids, z_bits)
+
+    return CommutingGroups(
+        num_qubits=num_qubits,
+        qubitwise=qubitwise,
+        labels=tuple(labels),
+        group_ids=group_ids,
+        num_groups=num_groups,
+        x_bits=x_bits,
+        z_bits=z_bits,
+        rep_x=rep_x_bits,
+        rep_z=rep_z_bits,
+    )
+
+
+def _greedy_qubitwise(
+    x_bits: np.ndarray, z_bits: np.ndarray, order: np.ndarray, group_ids: np.ndarray
+) -> Tuple[int, np.ndarray, np.ndarray]:
+    """First-fit greedy under qubit-wise commutation, packed representatives.
+
+    A term conflicts with a group iff some qubit carries a non-identity
+    factor in both that differs — word-wise that is
+    ``occ & rep_occ & ((tx ^ rep_x) | (tz ^ rep_z)) != 0`` — so one
+    vectorized pass over all group representatives places each term.
+    """
+    num_terms, num_qubits = x_bits.shape
+    tx = _pack_words(x_bits)
+    tz = _pack_words(z_bits)
+    occ = tx | tz
+    rep_x = np.zeros_like(tx)
+    rep_z = np.zeros_like(tz)
+    rep_occ = np.zeros_like(occ)
+    num_groups = 0
+    for term in order:
+        group = -1
+        if num_groups:
+            conflict = (occ[term] & rep_occ[:num_groups]) & (
+                (tx[term] ^ rep_x[:num_groups]) | (tz[term] ^ rep_z[:num_groups])
+            )
+            compatible = ~conflict.any(axis=1)
+            if compatible.any():
+                group = int(np.argmax(compatible))
+        if group < 0:
+            group = num_groups
+            num_groups += 1
+        rep_x[group] |= tx[term]
+        rep_z[group] |= tz[term]
+        rep_occ[group] |= occ[term]
+        group_ids[term] = group
+
+    # Unpack the packed representatives back to per-qubit booleans.
+    rep_x_bits = np.zeros((num_groups, num_qubits), dtype=bool)
+    rep_z_bits = np.zeros((num_groups, num_qubits), dtype=bool)
+    np.logical_or.at(rep_x_bits, group_ids, x_bits)
+    np.logical_or.at(rep_z_bits, group_ids, z_bits)
+    return num_groups, rep_x_bits, rep_z_bits
+
+
+def _greedy_general(
+    x_bits: np.ndarray, z_bits: np.ndarray, order: np.ndarray, group_ids: np.ndarray
+) -> int:
+    """First-fit greedy under general (symplectic) commutation.
+
+    No representative shortcut exists for general commutation, so each term
+    is tested against every placed member at once (one vectorized symplectic
+    product) and the first group containing no anticommuting member wins.
+    """
+    num_terms = x_bits.shape[0]
+    placed = 0
+    member_group = np.zeros(num_terms, dtype=np.int64)
+    num_groups = 0
+    for term in order:
+        group = -1
+        if placed:
+            anti = (
+                (z_bits[term] & x_bits[order[:placed]])
+                ^ (x_bits[term] & z_bits[order[:placed]])
+            ).sum(axis=1) & 1
+            compatible = np.ones(num_groups, dtype=bool)
+            compatible[member_group[:placed][anti.astype(bool)]] = False
+            if compatible.any():
+                group = int(np.argmax(compatible))
+        if group < 0:
+            group = num_groups
+            num_groups += 1
+        member_group[placed] = group
+        placed += 1
+        group_ids[term] = group
+    return num_groups
 
 
 def group_commuting_terms(
@@ -27,33 +251,29 @@ def group_commuting_terms(
         The operator to partition.
     qubitwise:
         If True (default) use qubit-wise commutation, which is what real
-        measurement circuits require; otherwise use general commutation.
+        measurement circuits require (and what the grouped stabilizer
+        kernel evaluates); otherwise use general commutation.
 
     Returns
     -------
     list of lists of :class:`PauliTerm`, greedily packed so that every pair
-    within a group commutes under the chosen relation.
+    within a group commutes under the chosen relation.  Groups appear in
+    creation order and members in placement order (descending coefficient
+    magnitude), matching :func:`compile_commuting_groups` exactly.
     """
-    terms = list(hamiltonian.terms())
-    if qubitwise:
-        compatible: Callable[[Pauli, Pauli], bool] = Pauli.qubitwise_commutes_with
-    else:
-        compatible = Pauli.commutes_with
-
-    groups: List[List[PauliTerm]] = []
-    # Sort by descending coefficient magnitude so heavy terms seed groups.
-    for term in sorted(terms, key=lambda t: -abs(t.coefficient)):
-        placed = False
-        for group in groups:
-            if all(compatible(term.pauli, member.pauli) for member in group):
-                group.append(term)
-                placed = True
-                break
-        if not placed:
-            groups.append([term])
+    compiled = compile_commuting_groups(hamiltonian, qubitwise=qubitwise)
+    terms = {term.label: term for term in hamiltonian.terms()}
+    coefficients = np.array(
+        [terms[label].coefficient for label in compiled.labels], dtype=complex
+    )
+    groups: List[List[PauliTerm]] = [[] for _ in range(compiled.num_groups)]
+    for position in _greedy_order(coefficients):
+        groups[int(compiled.group_ids[position])].append(
+            terms[compiled.labels[position]]
+        )
     return groups
 
 
 def measurement_settings_count(hamiltonian: PauliSum, qubitwise: bool = True) -> int:
     """Number of measurement settings needed to estimate ``hamiltonian``."""
-    return len(group_commuting_terms(hamiltonian, qubitwise=qubitwise))
+    return compile_commuting_groups(hamiltonian, qubitwise=qubitwise).num_groups

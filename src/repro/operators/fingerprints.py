@@ -20,7 +20,15 @@ from repro.operators.pauli_sum import PauliSum
 
 
 def hamiltonian_fingerprint(operator: PauliSum) -> str:
-    """Stable hex digest of a Pauli-sum operator (labels + coefficients)."""
+    """Stable hex digest of a Pauli-sum operator (labels + coefficients).
+
+    The digest covers *what* is simulated, never *how*: evaluation-time
+    choices such as the qubit-wise commuting partition compiled by
+    :class:`~repro.stabilizer.expectation.PauliSumEvaluator` (see
+    :mod:`repro.operators.commuting`) are excluded by construction, so
+    caches and checkpoints written with grouping off replay bit-identically
+    with grouping on.
+    """
     digest = hashlib.sha256()
     for term in sorted(operator.terms(), key=lambda t: t.label):
         coefficient = complex(term.coefficient)

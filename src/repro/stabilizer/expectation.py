@@ -7,44 +7,115 @@ a batch* with one call into the vectorized symplectic kernel — the
 anticommutation tests, destabilizer decompositions, and phase accumulation
 are GF(2) matmuls and popcounts with no Python loop over terms or batch
 elements (see :func:`repro.stabilizer.symplectic.stabilizer_expectations`).
+
+For structured Hamiltonians (molecules, spin chains, MaxCut) most of that
+per-term work is redundant: the evaluator also compiles the operator's
+qubit-wise commuting partition (:mod:`repro.operators.commuting`) at
+construction and, when the partition is coarse enough, routes batches
+through :func:`repro.stabilizer.symplectic.stabilizer_group_expectations`
+— one shared tableau pass per *group* instead of per term, with per-term
+values scattered back into label order before the multiply-then-sum reduce.
+Both kernels produce the same exact integers in ``{-1, 0, +1}``, so grouped,
+ungrouped, batched, and pointwise energies are bit-for-bit identical.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from repro import telemetry
 from repro.exceptions import SimulationError
+from repro.operators.commuting import compile_commuting_groups, label_bit_matrix
 from repro.operators.pauli_sum import PauliSum
-from repro.stabilizer.symplectic import num_words, pack_bits, stabilizer_expectations
+from repro.stabilizer.symplectic import (
+    group_reduction_context,
+    num_words,
+    pack_bits,
+    stabilizer_expectations,
+    stabilizer_group_expectations,
+)
 from repro.stabilizer.tableau import BatchedCliffordTableau, CliffordTableau
 
 # Cap the (batch, terms, generators, words) intermediates at ~32 MB per array
 # by chunking the batch axis.
 _CHUNK_ELEMENTS = 1 << 22
 
+# Auto mode only routes batches of at least this many states through the
+# grouped kernel: a single state cannot amortize the per-group Python
+# dispatch, and both kernels are exact so the choice is invisible.
+_GROUPED_MIN_BATCH = 2
+
+# Matches ``PauliSum.is_hermitian``'s default: large enough to absorb the
+# ~1e-16 imaginary dust left by fermionic mappings, small enough to catch a
+# genuinely non-Hermitian operator.
+_HERMITICITY_TOLERANCE = 1e-9
+
 
 class PauliSumEvaluator:
-    """Pre-compiled Pauli-sum expectation evaluator for stabilizer states."""
+    """Pre-compiled Pauli-sum expectation evaluator for stabilizer states.
 
-    def __init__(self, hamiltonian: PauliSum):
+    ``grouped`` selects the evaluation strategy: ``None`` (default) compiles
+    the qubit-wise commuting partition and uses the grouped kernel
+    automatically when it is coarse enough to pay off (at most half as many
+    groups as terms — random Pauli sums barely group and stay on the dense
+    kernel); ``True`` forces the grouped path for every batch (including
+    single states); ``False`` disables grouping entirely.  All three settings
+    return bit-identical values.
+    """
+
+    def __init__(self, hamiltonian: PauliSum, grouped: Optional[bool] = None):
         self._num_qubits = hamiltonian.num_qubits
         labels = hamiltonian.labels
         coefficients = np.array(
-            [np.real(hamiltonian.coefficient(label)) for label in labels], dtype=float
+            [hamiltonian.coefficient(label) for label in labels], dtype=complex
         )
-        if labels:
-            # Column q of the character matrix is qubit q (labels are written
-            # highest qubit first).
-            chars = np.array([list(label) for label in labels])[:, ::-1]
-            x_bits = (chars == "X") | (chars == "Y")
-            z_bits = (chars == "Z") | (chars == "Y")
-        else:
-            x_bits = np.zeros((0, self._num_qubits), dtype=bool)
-            z_bits = np.zeros((0, self._num_qubits), dtype=bool)
+        if coefficients.size:
+            worst = int(np.argmax(np.abs(coefficients.imag)))
+            if abs(coefficients.imag[worst]) > _HERMITICITY_TOLERANCE:
+                raise SimulationError(
+                    "stabilizer expectations require a Hermitian operator, but "
+                    f"term {labels[worst]!r} has non-real coefficient "
+                    f"{complex(coefficients[worst])!r}"
+                )
+        x_bits, z_bits = label_bit_matrix(labels, self._num_qubits)
         self._labels = labels
-        self._coefficients = coefficients
+        self._coefficients = np.ascontiguousarray(coefficients.real, dtype=float)
         self._term_x = pack_bits(x_bits)
         self._term_z = pack_bits(z_bits)
+
+        self._groups = (
+            compile_commuting_groups(hamiltonian)
+            if labels and grouped is not False
+            else None
+        )
+        self._grouped_forced = grouped is True
+        if self._groups is None:
+            self._grouped_mode = False
+        elif grouped is None:
+            self._grouped_mode = 2 * self._groups.num_groups <= self._groups.num_terms
+        else:
+            self._grouped_mode = True
+        self._group_data = []
+        self._max_group_terms = 0
+        if self._grouped_mode:
+            for group in range(self._groups.num_groups):
+                indices = self._groups.term_indices(group)
+                gx = self._groups.x_bits[indices]
+                gz = self._groups.z_bits[indices]
+                self._group_data.append(
+                    (
+                        indices,
+                        self._groups.rep_x[group],
+                        self._groups.rep_z[group],
+                        # Transposed support masks (nq, Tg), contiguous for the
+                        # fused parity matmul.
+                        np.ascontiguousarray((gx | gz).T.astype(np.float32)),
+                        (gx & gz).sum(axis=1).astype(np.float32),  # Y-counts (Tg,)
+                    )
+                )
+                self._max_group_terms = max(self._max_group_terms, len(indices))
 
     # ------------------------------------------------------------------ #
     @property
@@ -58,6 +129,16 @@ class PauliSumEvaluator:
     @property
     def labels(self) -> list[str]:
         return list(self._labels)
+
+    @property
+    def num_groups(self) -> Optional[int]:
+        """Size of the compiled commuting partition (``None`` if not compiled)."""
+        return self._groups.num_groups if self._groups is not None else None
+
+    @property
+    def grouped(self) -> bool:
+        """Whether batches route through the grouped (per-group-pass) kernel."""
+        return self._grouped_mode
 
     # ------------------------------------------------------------------ #
     def term_expectations(self, tableau: CliffordTableau) -> np.ndarray:
@@ -89,7 +170,9 @@ class PauliSumEvaluator:
     def _reduce(self, term_values: np.ndarray) -> np.ndarray:
         # Multiply-then-sum (not BLAS dot/gemv, whose reduction order varies
         # with batch shape) so batched and single-point energies are
-        # bit-for-bit identical.
+        # bit-for-bit identical.  Grouped evaluation scatters per-term values
+        # back into label order *before* this reduce, so the summation order
+        # never depends on the partition either.
         return (term_values * self._coefficients).sum(axis=-1)
 
     # ------------------------------------------------------------------ #
@@ -97,32 +180,69 @@ class PauliSumEvaluator:
         if tableau.num_qubits != self._num_qubits:
             raise SimulationError("tableau and Hamiltonian qubit counts differ")
 
+    def _use_grouped(self, batch: int) -> bool:
+        if not self._grouped_mode:
+            return False
+        return self._grouped_forced or batch >= _GROUPED_MIN_BATCH
+
     def _values(self, stab_x, stab_z, signs, destab_x, destab_z) -> np.ndarray:
         batch = stab_x.shape[0]
-        # The kernel's largest intermediates are (B, T, n, W) anticommutation
-        # tables and the (B, n, n, W) pairwise cross table; size the chunk by
-        # whichever dominates.
-        per_element = max(
-            1,
-            max(self.num_terms, self._num_qubits)
-            * self._num_qubits
-            * num_words(self._num_qubits),
-        )
+        if self._use_grouped(batch):
+            kernel = self._values_grouped
+            # The grouped path's largest per-state intermediates are the four
+            # unpacked (n, nq) generator blocks + (n, n) cross table and the
+            # per-group (n, max(nq, Tg)) parity-count matmuls.
+            per_element = max(
+                1,
+                self._num_qubits
+                * max(4 * self._num_qubits, self._max_group_terms),
+            )
+        else:
+            kernel = self._values_dense
+            # The dense kernel's largest intermediates are (B, T, n, W)
+            # anticommutation tables and the (B, n, n, W) pairwise cross
+            # table; size the chunk by whichever dominates.
+            per_element = max(
+                1,
+                max(self.num_terms, self._num_qubits)
+                * self._num_qubits
+                * num_words(self._num_qubits),
+            )
         chunk = max(1, _CHUNK_ELEMENTS // per_element)
         if batch <= chunk:
-            return stabilizer_expectations(
-                stab_x, stab_z, signs, destab_x, destab_z, self._term_x, self._term_z
-            )
+            return kernel(stab_x, stab_z, signs, destab_x, destab_z)
         pieces = [
-            stabilizer_expectations(
+            kernel(
                 stab_x[start : start + chunk],
                 stab_z[start : start + chunk],
                 signs[start : start + chunk],
                 destab_x[start : start + chunk],
                 destab_z[start : start + chunk],
-                self._term_x,
-                self._term_z,
             )
             for start in range(0, batch, chunk)
         ]
         return np.concatenate(pieces, axis=0)
+
+    def _values_dense(self, stab_x, stab_z, signs, destab_x, destab_z) -> np.ndarray:
+        telemetry.counter("stabilizer.kernel.dense.calls")
+        telemetry.counter("stabilizer.kernel.dense.states", value=stab_x.shape[0])
+        return stabilizer_expectations(
+            stab_x, stab_z, signs, destab_x, destab_z, self._term_x, self._term_z
+        )
+
+    def _values_grouped(self, stab_x, stab_z, signs, destab_x, destab_z) -> np.ndarray:
+        batch = stab_x.shape[0]
+        context = group_reduction_context(
+            stab_x, stab_z, signs, destab_x, destab_z, self._num_qubits
+        )
+        values = np.zeros((batch, self.num_terms), dtype=np.int8)
+        for indices, rep_x, rep_z, support_t, y_term in self._group_data:
+            values[:, indices] = stabilizer_group_expectations(
+                context, rep_x, rep_z, support_t, y_term
+            )
+        telemetry.counter("stabilizer.kernel.grouped.calls")
+        telemetry.counter("stabilizer.kernel.grouped.states", value=batch)
+        telemetry.counter(
+            "stabilizer.kernel.grouped.group_passes", value=len(self._group_data)
+        )
+        return values

@@ -11,6 +11,8 @@ points cheap: one Pauli-sum evaluation is a handful of GF(2) matmuls over
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.exceptions import SimulationError
@@ -86,6 +88,28 @@ def pauli_product_phase(
     return (y1 + y2 - y12 + 2 * cross) % 4
 
 
+def _row_weights(stab_x: np.ndarray, stab_z: np.ndarray, stab_signs: np.ndarray):
+    """Per-generator linear phase weights ``y_i + 2 * sign_i``: ``(B, n)`` float32.
+
+    Each participating stabilizer row ``i`` contributes its Y-count plus twice
+    its sign bit to the product phase (mod 4); the weights depend only on the
+    state, so grouped evaluation computes them once per batch chunk.
+    """
+    y_rows = bit_counts(stab_x & stab_z)  # (B, n)
+    return (y_rows + 2 * stab_signs).astype(np.float32)
+
+
+def _pairwise_cross(stab_z: np.ndarray, stab_x: np.ndarray) -> np.ndarray:
+    """Pairwise reordering parities ``z_i.x_j`` for ``i < j``: ``(B, n, n)`` float32.
+
+    The strictly-upper-triangular matrix of anticommutation-style parities
+    between stabilizer rows, in row order of the ordered product.  State-only,
+    shared across every term and every commuting group.
+    """
+    cross = bit_counts(stab_z[:, :, None] & stab_x[:, None, :]) & 1  # (B, n, n)
+    return np.triu(cross, k=1).astype(np.float32)
+
+
 def stabilizer_expectations(
     stab_x: np.ndarray,
     stab_z: np.ndarray,
@@ -132,13 +156,11 @@ def stabilizer_expectations(
     ).astype(np.float32)  # (B, T, n), entries 0.0/1.0
 
     # Linear part: each participating row i contributes y_i + 2 * sign_i.
-    y_rows = bit_counts(stab_x & stab_z)  # (B, n)
-    row_weights = (y_rows + 2 * stab_signs).astype(np.float32)
+    row_weights = _row_weights(stab_x, stab_z, stab_signs)
     linear = participates @ row_weights[..., None]  # (B, T, 1)
 
     # Pairwise reordering signs z_i.x_j for i < j (row order of the product).
-    cross = bit_counts(stab_z[:, :, None] & stab_x[:, None, :]) & 1  # (B, n, n)
-    cross = np.triu(cross, k=1).astype(np.float32)
+    cross = _pairwise_cross(stab_z, stab_x)
     pair = ((participates @ cross) * participates).sum(axis=2)
 
     y_term = bit_counts(term_x & term_z)  # (T,)
@@ -149,3 +171,126 @@ def stabilizer_expectations(
     if np.any(commutes & (phase & 1).astype(bool)):
         raise SimulationError("internal error: stabilizer decomposition mismatch")
     return np.where(commutes, np.where(phase == 0, 1, -1), 0).astype(np.int8)
+
+
+@dataclass(frozen=True)
+class GroupReductionContext:
+    """State-only quantities shared by every commuting group of one chunk.
+
+    Built once per batch chunk by :func:`group_reduction_context`; the
+    per-group kernel :func:`stabilizer_group_expectations` then only pays for
+    what actually varies between groups.  Generator bits are kept *unpacked*
+    and stacked — ``gen_x``/``gen_z`` hold the ``n`` stabilizer rows followed
+    by the ``n`` destabilizer rows, ``(B, 2n, nq)`` bool — so each group's
+    anticommutation *and* participation parities come out of one fused
+    boolean matmul against the terms' support masks.
+    """
+
+    gen_x: np.ndarray  # (B, 2n, nq) bool: stabilizer rows, then destabilizers
+    gen_z: np.ndarray  # (B, 2n, nq) bool
+    row_weights: np.ndarray  # (B, n) float32
+    cross: np.ndarray  # (B, n, n) float32
+    num_qubits: int
+
+    @property
+    def batch(self) -> int:
+        return self.gen_x.shape[0]
+
+    @property
+    def num_rows(self) -> int:
+        """Number of stabilizer generators (half the stacked row count)."""
+        return self.row_weights.shape[1]
+
+
+def group_reduction_context(
+    stab_x: np.ndarray,
+    stab_z: np.ndarray,
+    stab_signs: np.ndarray,
+    destab_x: np.ndarray,
+    destab_z: np.ndarray,
+    num_qubits: int,
+) -> GroupReductionContext:
+    """Precompute the per-state inputs of :func:`stabilizer_group_expectations`.
+
+    Inputs are the packed ``(B, n, W)`` generator blocks as handed to
+    :func:`stabilizer_expectations`; the row weights and pairwise cross
+    parities are exactly the ones the ungrouped kernel computes (same helper
+    functions), which is one half of the bit-identical-reduction invariant.
+    """
+    if stab_x.ndim != 3:
+        raise SimulationError("group_reduction_context expects packed (B, n, W) rows")
+    gen_x = np.concatenate(
+        [unpack_bits(stab_x, num_qubits), unpack_bits(destab_x, num_qubits)], axis=1
+    )
+    gen_z = np.concatenate(
+        [unpack_bits(stab_z, num_qubits), unpack_bits(destab_z, num_qubits)], axis=1
+    )
+    return GroupReductionContext(
+        gen_x=gen_x,
+        gen_z=gen_z,
+        row_weights=_row_weights(stab_x, stab_z, stab_signs),
+        cross=_pairwise_cross(stab_z, stab_x),
+        num_qubits=num_qubits,
+    )
+
+
+def stabilizer_group_expectations(
+    context: GroupReductionContext,
+    rep_x: np.ndarray,
+    rep_z: np.ndarray,
+    support_t: np.ndarray,
+    y_term: np.ndarray,
+) -> np.ndarray:
+    """Expectations of one qubit-wise-commuting group's terms: ``(B, Tg)`` int8.
+
+    ``rep_x``/``rep_z`` are the group representative's per-qubit bits
+    (``(nq,)`` bool, the union of the members' factors), ``support_t`` the
+    members' *transposed* support masks (``(nq, Tg)`` float32 with entries
+    0.0/1.0, columns in label order within the group), and ``y_term`` the
+    members' Y-counts as float32.
+
+    Within a qubit-wise group every member equals the representative masked
+    to its support, ``t = (rep_x & s_t, rep_z & s_t)``, and AND distributes
+    over XOR, so the anticommutation parity of member ``t`` with generator
+    row ``(gx, gz)`` factors as
+
+        ``parity((tz & gx) ^ (tx & gz)) = parity(s_t & A)``,
+        ``A = (rep_z & gx) ^ (rep_x & gz)``
+
+    — one shared representative pass ``A`` over the stacked
+    stabilizer+destabilizer rows (the tableau work), then one float32 BLAS
+    matmul against the support masks yields the parity counts for *all*
+    members against *all* rows at once: the stabilizer half gives the
+    anticommutation test, the destabilizer half the participation matrix.
+    The phase assembly then follows :func:`stabilizer_expectations` exactly
+    (same row weights, same pairwise cross, same closed-form telescoped
+    product).  Every intermediate is an exact small integer — counts stay
+    below 2**24 so float32 matmuls are exact, parities drop to int8, and the
+    phase fits float32 — so the grouped and ungrouped kernels return
+    bit-identical values, not merely close ones.
+    """
+    batch = context.batch
+    rows = context.num_rows
+    num_members = support_t.shape[1]
+
+    # Shared representative pass over stacked stab+destab rows, then one
+    # fused parity matmul for every (row, member) pair.
+    source = (context.gen_x & rep_z) ^ (context.gen_z & rep_x)  # (B, 2n, nq)
+    counts = (
+        source.reshape(batch * 2 * rows, context.num_qubits).astype(np.float32)
+        @ support_t
+    )
+    parity = (counts.astype(np.int8) & 1).reshape(batch, 2 * rows, num_members)
+
+    commutes = ~parity[:, :rows].any(axis=1)  # (B, Tg)
+    participates = parity[:, rows:].astype(np.float32)  # (B, n, Tg)
+
+    linear = (context.row_weights[:, None, :] @ participates)[:, 0]  # (B, Tg)
+    pair = (participates * (context.cross @ participates)).sum(axis=1)
+    # Exact in float32: linear <= n * (n + 2), pair <= n**2, both << 2**24.
+    phase = (linear + 2.0 * pair - y_term[None]).astype(np.int32) & 3
+
+    if np.any(commutes & (phase & 1).astype(bool)):
+        raise SimulationError("internal error: stabilizer decomposition mismatch")
+    sign = np.where(phase == 0, np.int8(1), np.int8(-1))
+    return np.where(commutes, sign, np.int8(0))

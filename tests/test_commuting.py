@@ -1,0 +1,180 @@
+"""Commuting-group compilation: determinism, correctness, and consumers.
+
+The grouping pass is evaluation-critical now (the grouped stabilizer kernel
+shares one tableau pass per group), so beyond the basic partition properties
+these tests pin determinism under term reordering, the qubitwise-vs-general
+relation, the packed-layout compatibility with the stabilizer engine, and
+agreement with the Fig. 6 per-term-breakdown consumer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.operators.commuting import (
+    _pack_words,
+    compile_commuting_groups,
+    group_commuting_terms,
+    label_bit_matrix,
+    measurement_settings_count,
+)
+from repro.operators.pauli import Pauli
+from repro.operators.pauli_sum import PauliSum
+from repro.stabilizer.symplectic import pack_bits
+
+
+def _random_pauli_sum(num_qubits, num_terms, seed):
+    rng = np.random.default_rng(seed)
+    terms = {}
+    while len(terms) < num_terms:
+        label = "".join(rng.choice(list("IXYZ"), size=num_qubits))
+        if set(label) == {"I"}:
+            continue
+        terms[label] = float(rng.normal()) or 0.5
+    return PauliSum(terms)
+
+
+OPERATORS = {
+    "mixed": PauliSum({"XX": 1.0, "YY": 0.5, "ZZ": 0.2, "XY": 0.3, "YX": 0.3}),
+    "diagonal_heavy": PauliSum({"ZZI": 1.0, "IZZ": 0.7, "ZIZ": 0.4, "XXX": 0.1}),
+    "random_4q": _random_pauli_sum(4, 24, seed=11),
+    "random_6q": _random_pauli_sum(6, 40, seed=12),
+}
+
+
+class TestPartitionProperties:
+    @pytest.mark.parametrize("name", sorted(OPERATORS))
+    @pytest.mark.parametrize("qubitwise", [True, False])
+    def test_union_of_groups_is_term_set(self, name, qubitwise):
+        hamiltonian = OPERATORS[name]
+        groups = group_commuting_terms(hamiltonian, qubitwise=qubitwise)
+        labels = sorted(term.label for group in groups for term in group)
+        assert labels == sorted(hamiltonian.labels)
+        # ... and coefficients survive the round trip untouched.
+        for group in groups:
+            for term in group:
+                assert term.coefficient == hamiltonian.coefficient(term.label)
+
+    @pytest.mark.parametrize("name", sorted(OPERATORS))
+    @pytest.mark.parametrize("qubitwise", [True, False])
+    def test_groups_internally_commute(self, name, qubitwise):
+        for group in group_commuting_terms(OPERATORS[name], qubitwise=qubitwise):
+            for i, a in enumerate(group):
+                for b in group[i + 1 :]:
+                    if qubitwise:
+                        assert a.pauli.qubitwise_commutes_with(b.pauli)
+                    else:
+                        assert a.pauli.commutes_with(b.pauli)
+
+    @pytest.mark.parametrize("name", sorted(OPERATORS))
+    def test_general_commutation_needs_at_most_as_many_settings(self, name):
+        hamiltonian = OPERATORS[name]
+        qubitwise = measurement_settings_count(hamiltonian, qubitwise=True)
+        general = measurement_settings_count(hamiltonian, qubitwise=False)
+        # Qubit-wise commutation implies general commutation, so every
+        # qubit-wise partition is also a valid general partition.
+        assert general <= qubitwise <= hamiltonian.num_terms
+
+    def test_measurement_settings_count_matches_group_count(self):
+        for hamiltonian in OPERATORS.values():
+            for qubitwise in (True, False):
+                assert measurement_settings_count(
+                    hamiltonian, qubitwise=qubitwise
+                ) == len(group_commuting_terms(hamiltonian, qubitwise=qubitwise))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("qubitwise", [True, False])
+    def test_partition_invariant_under_term_reordering(self, qubitwise):
+        hamiltonian = OPERATORS["random_6q"]
+        items = [(label, hamiltonian.coefficient(label)) for label in hamiltonian.labels]
+        baseline = group_commuting_terms(hamiltonian, qubitwise=qubitwise)
+        baseline_shape = [[t.label for t in group] for group in baseline]
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            shuffled = list(items)
+            rng.shuffle(shuffled)
+            regrouped = group_commuting_terms(
+                PauliSum(shuffled), qubitwise=qubitwise
+            )
+            assert [[t.label for t in g] for g in regrouped] == baseline_shape
+
+    def test_members_placed_by_descending_magnitude(self):
+        hamiltonian = PauliSum({"ZZ": 0.1, "ZI": 2.0, "IZ": 0.5, "XX": 1.0})
+        groups = group_commuting_terms(hamiltonian)
+        diagonal = next(g for g in groups if g[0].label == "ZI")
+        assert [t.label for t in diagonal] == ["ZI", "IZ", "ZZ"]
+
+
+class TestCompiledStructure:
+    def test_pack_words_matches_stabilizer_layout(self):
+        rng = np.random.default_rng(5)
+        for num_qubits in (1, 3, 63, 64, 65, 100, 130):
+            bits = rng.random((7, num_qubits)) < 0.5
+            assert np.array_equal(_pack_words(bits), pack_bits(bits))
+
+    def test_label_bit_matrix_layout(self):
+        x_bits, z_bits = label_bit_matrix(["XIZ", "YYI"], 3)
+        # Qubit 0 is the rightmost label character.
+        assert x_bits.tolist() == [[False, False, True], [False, True, True]]
+        assert z_bits.tolist() == [[True, False, False], [False, True, True]]
+
+    @pytest.mark.parametrize("name", sorted(OPERATORS))
+    def test_qubitwise_members_are_masked_representatives(self, name):
+        compiled = compile_commuting_groups(OPERATORS[name], qubitwise=True)
+        assert compiled.group_ids.shape == (compiled.num_terms,)
+        assert compiled.group_ids.min() >= 0
+        assert compiled.group_ids.max() == compiled.num_groups - 1
+        assert compiled.group_sizes().sum() == compiled.num_terms
+        for group in range(compiled.num_groups):
+            members = compiled.term_indices(group)
+            support = compiled.x_bits[members] | compiled.z_bits[members]
+            # Each member is the representative masked to its own support —
+            # the identity the grouped expectation kernel relies on.
+            assert np.array_equal(
+                compiled.x_bits[members], compiled.rep_x[group] & support
+            )
+            assert np.array_equal(
+                compiled.z_bits[members], compiled.rep_z[group] & support
+            )
+            # The representative carries nothing outside its members' union.
+            assert np.array_equal(
+                compiled.rep_x[group], np.logical_or.reduce(compiled.x_bits[members])
+            )
+            assert np.array_equal(
+                compiled.rep_z[group], np.logical_or.reduce(compiled.z_bits[members])
+            )
+
+    def test_identity_term_joins_any_group(self):
+        hamiltonian = PauliSum({"II": 3.0, "ZZ": 1.0, "XX": 0.5})
+        compiled = compile_commuting_groups(hamiltonian)
+        # The identity is qubit-wise compatible with everything, so it never
+        # opens a group of its own.
+        assert compiled.num_groups == 2
+
+
+class TestFig06Consumer:
+    def test_breakdown_terms_partition_into_groups(self, h2_problem):
+        """The Fig. 6 per-term breakdown and the grouping agree on the term set
+        and on the energy decomposition."""
+        from repro.circuits.ansatz import EfficientSU2Ansatz
+        from repro.core.objective import CliffordObjective
+
+        ansatz = EfficientSU2Ansatz(h2_problem.num_qubits, reps=1)
+        objective = CliffordObjective(h2_problem, ansatz)
+        point = (1,) * ansatz.num_parameters
+        breakdown = objective.term_expectations(point)
+        groups = group_commuting_terms(h2_problem.hamiltonian)
+        grouped_labels = sorted(t.label for g in groups for t in g)
+        assert grouped_labels == sorted(breakdown)
+        # Summing coefficient * expectation group by group reproduces the
+        # unconstrained energy exactly as the breakdown consumer computes it.
+        energy = sum(
+            term.coefficient.real * breakdown[term.label]
+            for group in groups
+            for term in group
+        )
+        assert energy == pytest.approx(objective.energy(point), abs=1e-12)
+
+    def test_fewer_settings_than_terms(self, h2_problem):
+        hamiltonian = h2_problem.hamiltonian
+        assert measurement_settings_count(hamiltonian) <= hamiltonian.num_terms

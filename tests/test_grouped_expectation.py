@@ -1,0 +1,180 @@
+"""Grouped expectation pipeline: bit-identity, validation, evaluator sharing.
+
+The refactor's load-bearing invariant is that the grouped kernel (one shared
+tableau pass per qubit-wise commuting group) returns *bit-identical* values
+to the dense per-term kernel — not merely close ones — so grouping can be an
+evaluation-time heuristic with zero trajectory impact.  These tests force
+both paths against each other across problem families, batch shapes, and the
+chunked dispatch, and cover the two satellite fixes (Hermiticity validation
+in ``PauliSumEvaluator`` and evaluator sharing in ``CliffordObjective``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.ansatz import EfficientSU2Ansatz
+from repro.circuits.clifford_points import CliffordGateProgram
+from repro.core.objective import CliffordObjective
+from repro.exceptions import SimulationError
+from repro.operators.pauli_sum import PauliSum
+from repro.problems import ising_chain, maxcut_ring, xxz_chain
+from repro.stabilizer.expectation import PauliSumEvaluator
+from repro.stabilizer.tableau import BatchedCliffordTableau
+
+
+def _random_points(ansatz, batch, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 4, size=(batch, ansatz.num_parameters))
+
+
+def _batched_states(hamiltonian, batch, seed):
+    ansatz = EfficientSU2Ansatz(hamiltonian.num_qubits, reps=2)
+    program = CliffordGateProgram.from_ansatz(ansatz)
+    return BatchedCliffordTableau.from_program(
+        program, _random_points(ansatz, batch, seed)
+    )
+
+
+HAMILTONIANS = {
+    "ising": ising_chain(num_sites=6).hamiltonian,
+    "xxz": xxz_chain(num_sites=5).hamiltonian,
+    "maxcut": maxcut_ring(num_vertices=7).hamiltonian,
+}
+
+
+class TestGroupedBitIdentity:
+    @pytest.mark.parametrize("name", sorted(HAMILTONIANS))
+    def test_grouped_matches_dense_per_term(self, name):
+        hamiltonian = HAMILTONIANS[name]
+        grouped = PauliSumEvaluator(hamiltonian, grouped=True)
+        dense = PauliSumEvaluator(hamiltonian, grouped=False)
+        assert grouped.grouped and not dense.grouped
+        states = _batched_states(hamiltonian, batch=23, seed=41)
+        values_g = grouped.term_expectations_batch(states)
+        values_d = dense.term_expectations_batch(states)
+        assert np.array_equal(values_g, values_d)
+        assert set(np.unique(values_g)) <= {-1.0, 0.0, 1.0}
+        # The weighted reduction is bit-for-bit identical, not approximately.
+        assert np.array_equal(
+            grouped.expectation_batch(states), dense.expectation_batch(states)
+        )
+
+    @pytest.mark.parametrize("name", sorted(HAMILTONIANS))
+    def test_pointwise_matches_batched_with_grouping_forced(self, name):
+        hamiltonian = HAMILTONIANS[name]
+        grouped = PauliSumEvaluator(hamiltonian, grouped=True)
+        dense = PauliSumEvaluator(hamiltonian, grouped=False)
+        states = _batched_states(hamiltonian, batch=5, seed=17)
+        batch_energies = grouped.expectation_batch(states)
+        for index in range(len(states)):
+            tableau = states.extract(index)
+            pointwise = grouped.expectation(tableau)
+            assert pointwise == batch_energies[index]
+            assert pointwise == dense.expectation(tableau)
+
+    def test_auto_mode_groups_structured_operators(self):
+        evaluator = PauliSumEvaluator(HAMILTONIANS["ising"])
+        assert evaluator.grouped
+        assert evaluator.num_groups is not None
+        assert 2 * evaluator.num_groups <= evaluator.num_terms
+
+    def test_auto_mode_keeps_fine_partitions_dense(self):
+        # Random 4-qubit Pauli strings barely group: the auto heuristic must
+        # leave such operators on the dense kernel.
+        rng = np.random.default_rng(9)
+        terms = {}
+        while len(terms) < 20:
+            label = "".join(rng.choice(list("IXYZ"), size=4))
+            if set(label) != {"I"}:
+                terms[label] = float(rng.normal()) or 1.0
+        evaluator = PauliSumEvaluator(PauliSum(terms))
+        if 2 * evaluator.num_groups > evaluator.num_terms:
+            assert not evaluator.grouped
+
+    def test_chunked_grouped_dispatch_is_identical(self, monkeypatch):
+        import repro.stabilizer.expectation as expectation_module
+
+        hamiltonian = HAMILTONIANS["xxz"]
+        states = _batched_states(hamiltonian, batch=31, seed=5)
+        whole = PauliSumEvaluator(hamiltonian, grouped=True).term_expectations_batch(
+            states
+        )
+        # Shrink the chunk budget so the same batch dispatches in many pieces.
+        monkeypatch.setattr(expectation_module, "_CHUNK_ELEMENTS", 256)
+        chunked = PauliSumEvaluator(hamiltonian, grouped=True).term_expectations_batch(
+            states
+        )
+        assert np.array_equal(whole, chunked)
+
+
+class TestKernelTelemetry:
+    def test_grouped_kernel_records_per_group_counters(self, tmp_path):
+        from repro import telemetry
+        from repro.telemetry.report import aggregate
+
+        hamiltonian = HAMILTONIANS["ising"]
+        states = _batched_states(hamiltonian, batch=4, seed=3)
+        grouped = PauliSumEvaluator(hamiltonian, grouped=True)
+        dense = PauliSumEvaluator(hamiltonian, grouped=False)
+        try:
+            telemetry.configure(tmp_path, tag="test")
+            expected = grouped.expectation_batch(states)
+            dense.expectation_batch(states)
+        finally:
+            telemetry.shutdown()
+        counters = aggregate(tmp_path)["counters"]
+        assert counters["stabilizer.kernel.grouped.calls"] == 1
+        assert counters["stabilizer.kernel.grouped.states"] == 4
+        assert counters["stabilizer.kernel.grouped.group_passes"] == grouped.num_groups
+        assert counters["stabilizer.kernel.dense.calls"] == 1
+        assert counters["stabilizer.kernel.dense.states"] == 4
+        # Recording never alters the trajectory.
+        assert np.array_equal(expected, grouped.expectation_batch(states))
+
+
+class TestHermiticityValidation:
+    def test_non_real_coefficient_raises(self):
+        operator = PauliSum({"XY": 1.0 + 0.5j, "ZZ": 1.0})
+        with pytest.raises(SimulationError, match="Hermitian"):
+            PauliSumEvaluator(operator)
+
+    def test_error_names_the_offending_term(self):
+        operator = PauliSum({"XX": 1.0, "ZI": 2.0 - 1.0j})
+        with pytest.raises(SimulationError, match="ZI"):
+            PauliSumEvaluator(operator)
+
+    def test_mapping_dust_is_tolerated(self):
+        # Fermionic mappings leave ~1e-16 imaginary residue on real terms;
+        # that must stay accepted (and evaluate by the real part).
+        operator = PauliSum({"ZZ": 1.0 + 1e-15j, "XI": 0.5})
+        evaluator = PauliSumEvaluator(operator)
+        states = _batched_states(operator, batch=3, seed=1)
+        assert np.isfinite(evaluator.expectation_batch(states)).all()
+
+
+class TestEvaluatorSharing:
+    def test_constraint_free_objective_shares_one_evaluator(self):
+        problem = ising_chain(num_sites=4)
+        ansatz = EfficientSU2Ansatz(problem.num_qubits, reps=1)
+        objective = CliffordObjective(problem, ansatz)
+        assert objective._energy_evaluator is objective._operator_evaluator
+
+    def test_constrained_objective_keeps_separate_evaluators(self, lih_problem):
+        # LiH's default particle-number penalty genuinely changes the
+        # constrained operator (unlike tapered H2, whose penalty leaves it
+        # exactly unchanged), so the two evaluators must stay separate.
+        ansatz = EfficientSU2Ansatz(lih_problem.num_qubits, reps=1)
+        objective = CliffordObjective(lih_problem, ansatz)
+        assert objective._energy_evaluator is not objective._operator_evaluator
+
+    def test_shared_evaluator_keeps_energy_equal_to_objective(self):
+        problem = xxz_chain(num_sites=4)
+        ansatz = EfficientSU2Ansatz(problem.num_qubits, reps=1)
+        objective = CliffordObjective(problem, ansatz)
+        rng = np.random.default_rng(23)
+        for _ in range(6):
+            point = tuple(int(v) for v in rng.integers(0, 4, ansatz.num_parameters))
+            # Without constraints the objective *is* the energy, bit-for-bit,
+            # and the shared evaluator must not change either value.
+            assert objective(point) == objective.energy(point)
+            assert objective.constraint_violation(point) == 0.0
